@@ -1,0 +1,37 @@
+"""Figures 1-2: prefetcher effectiveness vs DRAM channel count.
+
+Regenerates the paper's motivating result: state-of-the-art prefetchers
+lose against no-prefetching when DRAM bandwidth is constrained and win when
+it is ample.  The benchmark asserts the *shape* -- a rising weighted-speedup
+curve for the L1 prefetchers whose traffic creates the problem -- not the
+absolute numbers (the substrate is a scaled simulator, not the authors'
+testbed).
+"""
+
+from __future__ import annotations
+
+from _harness import run_once
+
+from repro.experiments import figure1, figure2
+
+
+def test_figure1_homogeneous(benchmark, runner):
+    result = run_once(benchmark, figure1, runner)
+    series = result["series"]
+    for scheme in ("berti", "ipcp"):
+        curve = series[scheme]
+        # Constrained end hurts...
+        assert curve[0] < 1.0, f"{scheme} should lose at 1 channel: {curve}"
+        # ...and bandwidth monotonically rehabilitates the prefetcher.
+        assert curve[-1] > curve[0]
+    assert series["berti"][-1] > 1.0
+
+
+def test_figure2_heterogeneous(benchmark, runner):
+    result = run_once(benchmark, figure2, runner)
+    series = result["series"]
+    # Heterogeneous mixes soften the slowdown (paper section 5: mixes with
+    # cache-friendly halves do not collapse), but the gradient remains.
+    for scheme in ("berti", "ipcp"):
+        curve = series[scheme]
+        assert curve[-1] >= curve[0] - 0.05

@@ -1,0 +1,37 @@
+"""Figures 4-5: prior load-criticality predictors.
+
+Fig. 4 (paper): existing predictors over-predict -- high coverage, low
+instance-level accuracy (best: 41%).  Fig. 5: gating Berti with them does
+not rescue performance under constrained bandwidth.
+"""
+
+from __future__ import annotations
+
+from _harness import run_once
+
+from repro.experiments import figure4, figure5
+
+
+def test_figure4_accuracy_coverage(benchmark, runner):
+    result = run_once(benchmark, figure4, runner)
+    accuracy = result["accuracy"]
+    coverage = result["coverage"]
+    # The sticky IP-granularity predictors must show the paper's
+    # over-prediction signature: coverage far above accuracy.
+    for name in ("fvp", "cbp", "robo"):
+        assert coverage[name] > 0.5, f"{name} coverage collapsed"
+        assert accuracy[name] < 0.6, f"{name} accuracy suspiciously high"
+        assert coverage[name] > accuracy[name]
+
+
+def test_figure5_gating_does_not_rescue_berti(benchmark, runner):
+    result = run_once(benchmark, figure5, runner)
+    homog = result["homogeneous"]
+    constrained = 0  # Index of the most constrained channel count.
+    berti = homog["berti"][constrained]
+    # No prior predictor turns the constrained slowdown into a clear win
+    # (paper Fig. 5: all variants hover at or below no-prefetching).
+    for scheme, curve in homog.items():
+        if scheme == "berti":
+            continue
+        assert curve[constrained] < 1.10

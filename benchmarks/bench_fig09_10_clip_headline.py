@@ -1,0 +1,37 @@
+"""Figures 9-10: CLIP's headline result.
+
+Paper: at the constrained point CLIP improves Berti by 24% (homogeneous)
+and 9% (heterogeneous); per-mix, most Berti slowdowns flip to gains.
+"""
+
+from __future__ import annotations
+
+from _harness import run_once
+
+from repro.experiments import figure9, figure10
+
+
+def test_figure9_clip_with_all_prefetchers(benchmark, runner):
+    result = run_once(benchmark, figure9, runner)
+    homog = result["homogeneous"]
+    heterog = result["heterogeneous"]
+    # CLIP must rescue the L1 prefetchers whose traffic causes the problem.
+    assert homog["berti+clip"] > homog["berti"] + 0.03
+    assert homog["ipcp+clip"] > homog["ipcp"]
+    assert heterog["berti+clip"] >= heterog["berti"]
+    # And CLIP must never make any prefetcher substantially worse.
+    for scheme in ("berti", "ipcp", "bingo", "spp_ppf"):
+        assert homog[scheme + "+clip"] > homog[scheme] - 0.05
+
+
+def test_figure10_per_mix(benchmark, runner):
+    result = run_once(benchmark, figure10, runner)
+    per_mix = result["per_mix"]
+    assert result["clip_avg"] > result["berti_avg"]
+    # Paper: with CLIP only a few mixes still slow down, far fewer than
+    # with Berti alone.
+    berti_slowdowns = sum(1 for m in per_mix.values()
+                          if m["berti_ws"] < 0.98)
+    clip_slowdowns = sum(1 for m in per_mix.values()
+                         if m["clip_ws"] < 0.98)
+    assert clip_slowdowns <= berti_slowdowns

@@ -1,0 +1,25 @@
+"""Figure 17: CloudSuite and CVP client/server workloads.
+
+Paper: these traces are hard to prefetch (under 10% gains even with 64
+channels), so neither Berti nor CLIP moves performance much -- the figure's
+point is the *absence* of large effects.
+"""
+
+from __future__ import annotations
+
+from _harness import run_once
+
+from repro.experiments import figure17
+
+
+def test_figure17_cloud_cvp_flat(benchmark, runner):
+    result = run_once(benchmark, figure17, runner)
+    series = result["series"]
+    for scheme, curve in series.items():
+        for value in curve:
+            # Everything stays within a modest band around 1.0.
+            assert 0.8 < value < 1.25, (scheme, curve)
+    # CLIP never causes a meaningful loss on these workloads.
+    for clip_value, berti_value in zip(series["berti+clip"],
+                                       series["berti"]):
+        assert clip_value > berti_value - 0.08

@@ -1,0 +1,22 @@
+"""Figure 18: sensitivity to CLIP's table sizes.
+
+Paper: growing the tables to 2x/4x buys almost nothing; shrinking to
+0.5x/0.25x costs more than 7%.
+"""
+
+from __future__ import annotations
+
+from _harness import run_once
+
+from repro.experiments import figure18
+
+
+def test_figure18_table_size_sensitivity(benchmark, runner):
+    result = run_once(benchmark, figure18, runner)
+    tables = result["tables"]
+    for which in ("filter", "predictor"):
+        curve = tables[which]
+        # Bigger tables: no collapse (paper: marginal change).
+        assert curve[4.0] > 0.9
+        # Quarter-size tables never *help*.
+        assert curve[0.25] <= curve[4.0] + 0.05

@@ -1,0 +1,34 @@
+"""Figures 19-20: CLIP across channel counts for all prefetchers.
+
+Paper: CLIP is highly effective at 4-8 channels and marginal at 16 -- its
+value is specifically bandwidth-constrained operation.
+"""
+
+from __future__ import annotations
+
+from _harness import run_once
+
+from repro.experiments import figure19, figure20
+
+
+def test_figure19_homogeneous(benchmark, runner):
+    result = run_once(benchmark, figure19, runner)
+    series = result["series"]
+    constrained, ample = 0, -1
+    gain_constrained = (series["berti+clip"][constrained]
+                        - series["berti"][constrained])
+    gain_ample = series["berti+clip"][ample] - series["berti"][ample]
+    # The gain shrinks as bandwidth grows (the paper's whole point).
+    assert gain_constrained > gain_ample - 0.02
+    assert gain_constrained > 0
+
+
+def test_figure20_heterogeneous(benchmark, runner):
+    result = run_once(benchmark, figure20, runner)
+    series = result["series"]
+    # CLIP must not damage any prefetcher at any point of the sweep by
+    # more than noise.
+    for scheme in ("berti", "ipcp", "bingo", "spp_ppf"):
+        for base_value, clip_value in zip(series[scheme],
+                                          series[scheme + "+clip"]):
+            assert clip_value > base_value - 0.08

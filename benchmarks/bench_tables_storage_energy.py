@@ -1,0 +1,34 @@
+"""Table 2, Table 3, and the section-5.1 energy claim."""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import run_once
+
+from repro.experiments import energy_study, table2, table3
+
+
+def test_table2_storage_overhead(benchmark):
+    result = run_once(benchmark, table2)
+    # Paper: 1.56 KB per core.
+    assert result["total_kb"] == pytest.approx(1.564, abs=0.01)
+    assert result["rows"]["Criticality filter"] == 336
+    assert result["rows"]["Criticality predictor"] == 640
+    assert result["rows"]["Utility buffer"] == 512
+
+
+def test_table3_baseline_configuration(benchmark):
+    result = run_once(benchmark, table3)
+    assert result["cores"] == 64
+    assert result["rob_entries"] == 512
+    assert result["dram_channels"] == 8
+    assert result["mesh_dim"] == 8
+    assert result["llc_replacement"] == "mockingjay"
+
+
+def test_energy_saving(benchmark, runner):
+    result = run_once(benchmark, energy_study, runner)
+    # Paper: -18.21% dynamic energy for homogeneous mixes.  The shape
+    # requirement: CLIP's traffic cut shows up as an energy saving.
+    assert result["saving"] > 0.0

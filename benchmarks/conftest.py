@@ -1,0 +1,15 @@
+"""Shared fixtures for the benchmark suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import BENCH_SCALE
+from repro.experiments import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """One cached runner for the whole benchmark session: figures reuse
+    each other's baseline simulations."""
+    return ExperimentRunner(BENCH_SCALE)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Model your own application and ask whether CLIP would help it.
+
+Builds a custom :class:`WorkloadSpec` -- here an in-memory key-value store:
+a hot index (cache-resident), a branch-correlated lookup that either hits a
+small hot partition or chases into a cold log, and a background compaction
+scan (streaming) -- then measures no-prefetch / Berti / Berti+CLIP on a
+bandwidth-constrained part.
+
+This is the intended workflow for adopting the library on workloads the
+paper never saw: describe the access patterns, and let the simulator tell
+you whether criticality-filtered prefetching pays off.
+"""
+
+from repro import run_system, scaled_config, weighted_speedup
+from repro.trace.synthetic import StreamSpec, SyntheticWorkload, WorkloadSpec
+from repro.trace import workloads as registry
+
+CORES = 8
+CHANNELS = 1
+INSTRUCTIONS = 10_000
+
+KV_STORE = WorkloadSpec(
+    name="kvstore-demo",
+    streams=[
+        # The hash index: small, hammered constantly, L1-resident.
+        StreamSpec(kind="random", weight=6.0, footprint_kib=4, dep_alu=1),
+        # Lookups: a branch decides hot partition vs cold log chase --
+        # the dynamic-critical behaviour CLIP's signature captures.
+        StreamSpec(kind="hotcold", weight=0.6, footprint_kib=16_384,
+                   hot_footprint_kib=24, hot_probability=0.6),
+        # Value fetches: pointer chases into the cold heap.
+        StreamSpec(kind="pointer", weight=0.4, footprint_kib=16_384,
+                   dep_alu=2),
+        # Background compaction: a streaming scan Berti covers perfectly.
+        StreamSpec(kind="stride", weight=0.5, footprint_kib=16_384,
+                   stride=64, dep_alu=1),
+    ],
+    alu_filler_weight=6.0,
+)
+
+
+def run(prefetcher: str, clip: bool):
+    config = scaled_config(num_cores=CORES, channels=CHANNELS,
+                           sim_instructions=INSTRUCTIONS)
+    config.l1_prefetcher.name = prefetcher
+    config.clip.enabled = clip
+    # Register the custom spec so every core generates from it.
+    registry._REGISTRY[KV_STORE.name] = KV_STORE
+    return run_system(config, [KV_STORE.name] * CORES)
+
+
+def main() -> None:
+    # Sanity-check the model generates a well-formed stream.
+    sample = SyntheticWorkload(KV_STORE).generate(1000)
+    loads = sum(record.op == 0 for record in sample)
+    print(f"custom workload: {loads}/{len(sample)} instructions are loads\n")
+
+    baseline = run("none", clip=False)
+    berti = run("berti", clip=False)
+    clip = run("berti", clip=True)
+
+    print(f"{'scheme':<16} {'weighted speedup':>16} {'DRAM reads':>11}")
+    print(f"{'no prefetching':<16} {1.0:>16.3f} {baseline.dram.reads:>11}")
+    print(f"{'Berti':<16} {weighted_speedup(berti, baseline):>16.3f} "
+          f"{berti.dram.reads:>11}")
+    print(f"{'Berti + CLIP':<16} {weighted_speedup(clip, baseline):>16.3f} "
+          f"{clip.dram.reads:>11}")
+    print("\nInterpretation: if Berti < 1.0 here, your workload's traffic "
+          "profile makes naive prefetching a liability on this part; CLIP "
+          "recovering toward/above 1.0 means criticality filtering is the "
+          "fix rather than disabling prefetch outright.")
+
+
+if __name__ == "__main__":
+    main()

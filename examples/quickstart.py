@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: reproduce the paper's headline claim in one minute.
+
+Runs a bandwidth-constrained many-core system (8 cores sharing one scaled
+DDR4 channel = the paper's 8-cores-per-channel pressure) on an mcf-like
+workload three ways:
+
+1. no prefetching,
+2. the Berti prefetcher,
+3. Berti filtered by CLIP,
+
+and prints weighted speedups: Berti *hurts* under constrained bandwidth,
+CLIP recovers the loss by prefetching only critical-and-accurate loads.
+"""
+
+from repro import run_system, scaled_config, weighted_speedup
+from repro.trace import homogeneous_mix
+
+CORES = 8
+CHANNELS = 1          # ~ paper's 8 channels for 64 cores
+INSTRUCTIONS = 10_000
+WORKLOAD = "605.mcf_s-1536B"
+
+
+def make_config(prefetcher: str, clip: bool):
+    config = scaled_config(num_cores=CORES, channels=CHANNELS,
+                           sim_instructions=INSTRUCTIONS)
+    config.l1_prefetcher.name = prefetcher
+    config.clip.enabled = clip
+    return config
+
+
+def main() -> None:
+    mix = homogeneous_mix(WORKLOAD, CORES)
+    print(f"workload: {WORKLOAD} x{CORES} cores, {CHANNELS} scaled DDR4 "
+          f"channel(s)\n")
+
+    baseline = run_system(make_config("none", clip=False), mix,
+                          label="no-prefetch")
+    berti = run_system(make_config("berti", clip=False), mix, label="berti")
+    clip = run_system(make_config("berti", clip=True), mix,
+                      label="berti+clip")
+
+    rows = [
+        ("no prefetching", baseline, 1.0),
+        ("Berti", berti, weighted_speedup(berti, baseline)),
+        ("Berti + CLIP", clip, weighted_speedup(clip, baseline)),
+    ]
+    print(f"{'scheme':<16} {'weighted speedup':>16} {'L1 miss lat':>12} "
+          f"{'prefetches':>11} {'pf accuracy':>12}")
+    for name, result, speedup in rows:
+        print(f"{name:<16} {speedup:>16.3f} "
+              f"{result.average_l1_miss_latency():>12.0f} "
+              f"{result.prefetch.issued:>11d} "
+              f"{result.prefetch.accuracy:>12.2f}")
+
+    assert clip.clip is not None
+    print(f"\nCLIP criticality prediction accuracy: "
+          f"{clip.clip.prediction_accuracy:.2f}")
+    print(f"CLIP dropped {1 - clip.prefetch.issued / max(1, berti.prefetch.issued):.0%} "
+          f"of Berti's prefetch traffic")
+
+
+if __name__ == "__main__":
+    main()

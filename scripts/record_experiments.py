@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md: paper-vs-measured for every table and figure.
+
+Runs every experiment driver with one shared (cached) runner at the
+benchmark scale and writes the comparison document.  Takes ~30-60 minutes.
+
+Usage: python scripts/record_experiments.py [output-path]
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+import time
+from contextlib import redirect_stdout
+from pathlib import Path
+
+from repro import experiments
+from repro.experiments import BenchScale, ExperimentRunner
+
+SCALE = BenchScale(num_cores=8, sim_instructions=8_000,
+                   channel_sweep=(1, 2, 4, 8, 16), constrained_channels=1,
+                   homogeneous_sample=6, heterogeneous_mixes=4)
+
+#: (driver, paper claim, how to read the scaled result)
+ITEMS = [
+    ("Figure 1", experiments.figure1,
+     "Prefetchers slow 64-core/8ch systems (Berti: -16%) and gain +35% at "
+     "64 channels.",
+     "Berti/IPCP weighted speedup < 1.0 at 1 scaled channel, rising "
+     "monotonically to > 1.0 at 16."),
+    ("Figure 2", experiments.figure2,
+     "Heterogeneous mixes show the same gradient, softened.",
+     "Same shape; smaller swings than Figure 1."),
+    ("Figure 3", experiments.figure3,
+     "Berti inflates L2/L3 demand miss latency by >= 1.9x at 4-8 channels.",
+     "Latency ratios above 1.0 at the constrained end, relaxing with "
+     "channels."),
+    ("Figure 4", experiments.figure4,
+     "Prior criticality predictors: high coverage, low accuracy "
+     "(best 41%).",
+     "FVP/CBP/ROBO coverage >> accuracy; instance accuracy low."),
+    ("Figure 5", experiments.figure5,
+     "No prior predictor rescues Berti at low bandwidth.",
+     "All berti+<predictor> rows stay near or below 1.0 at 1 channel."),
+    ("Figure 6", experiments.figure6,
+     "Throttlers (FDP/HPAC/SPAC/NST) help marginally at best.",
+     "berti+<throttler> within a few points of plain Berti."),
+    ("Figure 9", experiments.figure9,
+     "CLIP improves Berti by 24% (homog) / 9% (heterog) at 8 channels; "
+     "works for all four prefetchers.",
+     "X+clip >= X for every prefetcher at the constrained point."),
+    ("Figure 10", experiments.figure10,
+     "Per-mix: 16% slowdown becomes 8% gain; slowdown mixes drop from 26 "
+     "to 3 of 45.",
+     "clip_ws > berti_ws for most mixes; geomean gap positive."),
+    ("Figure 11", experiments.figure11,
+     "Average L1 miss latency falls from 168 to 132 cycles.",
+     "clip latency < berti latency (absolute values are scale-specific)."),
+    ("Figure 12", experiments.figure12,
+     "CLIP gives up ~7% L1 / 2-3% L2-LLC miss coverage.",
+     "Coverage with CLIP <= Berti at L1."),
+    ("Figure 13", experiments.figure13,
+     "Critical signature: 93% avg accuracy vs 41% for the best prior.",
+     "clip_avg > prior_avg."),
+    ("Figure 14", experiments.figure14,
+     "CLIP covers 76% of critical loads on average.",
+     "Nonzero coverage; lower than the paper at this scale (synthetic "
+     "irregular streams have larger signature working sets)."),
+    ("Figure 15", experiments.figure15,
+     "Few critical IPs per mix; ~50% dynamic-critical.",
+     "Small static+dynamic counts; dynamic > 0."),
+    ("Figure 16", experiments.figure16,
+     "CLIP drops ~50% of Berti's prefetch requests (up to 90%).",
+     "Mean reduction well above zero."),
+    ("Figure 17", experiments.figure17,
+     "CloudSuite/CVP: prefetchers gain <10% even unconstrained.",
+     "All curves in a narrow band around 1.0."),
+    ("Figure 18", experiments.figure18,
+     "2x/4x tables: marginal gain; 0.25-0.5x: >7% loss.",
+     "Larger tables do not collapse; smaller never help."),
+    ("Figure 19", experiments.figure19,
+     "CLIP's gain shrinks as channels grow (homogeneous).",
+     "clip-vs-base gap largest at 1 scaled channel."),
+    ("Figure 20", experiments.figure20,
+     "Same across prefetchers, heterogeneous.",
+     "clip never substantially below base."),
+    ("Figure 21", experiments.figure21,
+     "CLIP beats Hermes/DSPatch at 4-8 channels; Hermes wins at 16.",
+     "berti+clip leads at the constrained point."),
+    ("Energy (5.1)", experiments.energy_study,
+     "CLIP cuts dynamic memory-hierarchy energy by 18.21% (homog).",
+     "Positive saving."),
+    ("LLC sweep (5.2)", experiments.llc_sensitivity,
+     "Smaller LLC -> bigger Berti slowdown -> bigger CLIP edge.",
+     "clip >= berti at every size."),
+    ("Cores sweep (5.2)", experiments.core_count_sensitivity,
+     "CLIP matters while there is <1 channel per 2-4 cores.",
+     "Gain at 8c/1ch >= gain at 8c/2ch."),
+    ("Ablation (4.2/5.1)", experiments.ablation_study,
+     "77.5% of benefit from criticality filtering/prediction; NoC/DRAM "
+     "priority only 2.8%; short histories hurt.",
+     "no-priority close to full; every ablation above plain Berti."),
+    ("Table 2", experiments.table2,
+     "1.56 KB/core storage.",
+     "Exact recomputation: 1.564 KB."),
+    ("Table 3", experiments.table3,
+     "Baseline system parameters.",
+     "SystemConfig() defaults printed verbatim."),
+]
+
+HEADER = """# EXPERIMENTS — paper vs measured
+
+Generated by `python scripts/record_experiments.py` at benchmark scale
+({cores} cores, {instr} instructions/core, channel sweep {sweep};
+1 scaled channel = the paper's 8-cores-per-channel constrained point).
+
+Absolute numbers are not comparable with the authors' cycle-accurate
+C++ testbed; the reproduction target is each figure's *shape* (see
+README "Scope notes" and DESIGN.md section 2). Every claim below is also
+asserted mechanically by `pytest benchmarks/ --benchmark-only`.
+
+Total driver runtime: {minutes:.1f} minutes, {runs} simulations
+(cached across figures).
+"""
+
+
+def main() -> int:
+    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 \
+        else Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+    runner = ExperimentRunner(SCALE)
+    sections = []
+    start = time.time()
+    for title, driver, paper_claim, scaled_reading in ITEMS:
+        buffer = io.StringIO()
+        t0 = time.time()
+        with redirect_stdout(buffer):
+            if driver in (experiments.table2, experiments.table3):
+                driver()
+            else:
+                driver(runner)
+        elapsed = time.time() - t0
+        print(f"{title}: {elapsed:.1f}s", flush=True)
+        body = buffer.getvalue().strip()
+        sections.append(
+            f"## {title}\n\n"
+            f"**Paper:** {paper_claim}\n\n"
+            f"**Scaled reading:** {scaled_reading}\n\n"
+            f"**Measured:**\n\n```text\n{body}\n```\n")
+    minutes = (time.time() - start) / 60
+    header = HEADER.format(cores=SCALE.num_cores,
+                           instr=SCALE.sim_instructions,
+                           sweep=list(SCALE.channel_sweep),
+                           minutes=minutes, runs=runner.runs)
+    out_path.write_text(header + "\n" + "\n".join(sections))
+    print(f"wrote {out_path} ({minutes:.1f} min, {runner.runs} runs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Full-scale (Table 3) runs: 64 cores, 8x8 mesh, eight DDR4-3200 channels.
+
+The benchmark suite runs a scaled system; this script runs the paper's
+actual configuration for one mix and one scheme comparison.  Pure-Python
+cost: a 64-core x 50k-instruction run takes tens of minutes on one core --
+budget accordingly (the paper's 200M-instruction windows are out of reach
+without a compiled simulator, see DESIGN.md section 2).
+
+Usage:
+    python scripts/run_full_scale.py [workload] [instructions-per-core]
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import time
+
+from repro.config import SystemConfig
+from repro.sim.stats import weighted_speedup
+from repro.sim.system import run_system
+from repro.trace import homogeneous_mix
+
+
+def build_config(prefetcher: str, clip: bool,
+                 instructions: int) -> SystemConfig:
+    config = SystemConfig()          # Table 3, unmodified.
+    config.sim_instructions = instructions
+    config.l1_prefetcher = dataclasses.replace(config.l1_prefetcher,
+                                               name=prefetcher)
+    config.clip = dataclasses.replace(config.clip, enabled=clip)
+    config.validate()
+    return config
+
+
+def main() -> int:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "605.mcf_s-1536B"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 20_000
+    mix = homogeneous_mix(workload, 64)
+    print(f"full-scale run: {workload} x64 cores, 8 channels, "
+          f"{instructions} instructions/core")
+    results = {}
+    for label, prefetcher, clip in (("no-prefetch", "none", False),
+                                    ("berti", "berti", False),
+                                    ("berti+clip", "berti", True)):
+        started = time.time()
+        results[label] = run_system(
+            build_config(prefetcher, clip, instructions), mix, label=label)
+        print(f"  {label:<12} done in {time.time() - started:7.1f}s, "
+              f"aggregate IPC "
+              f"{sum(results[label].ipc_per_core):7.2f}")
+    baseline = results["no-prefetch"]
+    for label in ("berti", "berti+clip"):
+        print(f"{label:<12} weighted speedup "
+              f"{weighted_speedup(results[label], baseline):.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Shim for editable installs on environments without the wheel package.
+
+``pip install -e .`` needs ``bdist_wheel`` under PEP 517; this offline
+environment ships setuptools without wheel, so ``python setup.py develop``
+(driven by this file) is the supported editable-install path.  All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

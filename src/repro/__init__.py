@@ -1,0 +1,31 @@
+"""repro: reproduction of CLIP (MICRO 2023).
+
+CLIP: Load Criticality based Data Prefetching for Bandwidth-constrained
+Many-core Systems (Biswabandan Panda, MICRO 2023).
+
+Public API tour:
+
+>>> from repro import scaled_config, run_system
+>>> from repro.trace import homogeneous_mix
+>>> config = scaled_config(num_cores=4, channels=1, sim_instructions=2000)
+>>> config.clip.enabled = True
+>>> result = run_system(config, homogeneous_mix("605.mcf_s-1536B", 4))
+>>> result.total_instructions
+8000
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.config import (ClipConfig, CoreConfig, DramConfig,
+                          PrefetcherConfig, SystemConfig, scaled_config)
+from repro.sim.stats import SimulationResult, weighted_speedup
+from repro.sim.system import MulticoreSystem, run_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClipConfig", "CoreConfig", "DramConfig", "PrefetcherConfig",
+    "SystemConfig", "scaled_config", "SimulationResult", "weighted_speedup",
+    "MulticoreSystem", "run_system", "__version__",
+]

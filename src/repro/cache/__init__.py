@@ -1,0 +1,8 @@
+"""Cache substrate: set-associative caches, MSHRs, replacement policies."""
+
+from repro.cache.cache import Cache, EvictedLine, LineState
+from repro.cache.mshr import Mshr, MshrFile
+from repro.cache.replacement import make_policy
+
+__all__ = ["Cache", "EvictedLine", "LineState", "Mshr", "MshrFile",
+           "make_policy"]

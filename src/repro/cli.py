@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``        simulate one configuration and print a result summary
+``figure``     regenerate one of the paper's figures/tables by name
+``workloads``  list the available workload models
+``storage``    print CLIP's Table-2 storage accounting
+``characterize``  static characterisation of one workload model
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional
+
+from repro import experiments
+from repro.config import scaled_config
+from repro.sim.stats import weighted_speedup
+from repro.sim.system import run_system
+from repro.trace import homogeneous_mix, workload_names
+
+FIGURES = {
+    "fig1": experiments.figure1, "fig2": experiments.figure2,
+    "fig3": experiments.figure3, "fig4": experiments.figure4,
+    "fig5": experiments.figure5, "fig6": experiments.figure6,
+    "fig9": experiments.figure9, "fig10": experiments.figure10,
+    "fig11": experiments.figure11, "fig12": experiments.figure12,
+    "fig13": experiments.figure13, "fig14": experiments.figure14,
+    "fig15": experiments.figure15, "fig16": experiments.figure16,
+    "fig17": experiments.figure17, "fig18": experiments.figure18,
+    "fig19": experiments.figure19, "fig20": experiments.figure20,
+    "fig21": experiments.figure21,
+    "energy": experiments.energy_study,
+    "llc": experiments.llc_sensitivity,
+    "cores": experiments.core_count_sensitivity,
+    "ablation": experiments.ablation_study,
+}
+TABLES = {"table2": experiments.table2, "table3": experiments.table3}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CLIP (MICRO 2023) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one configuration")
+    run.add_argument("--workload", default="605.mcf_s-1536B",
+                     help="workload model name (see `workloads`)")
+    run.add_argument("--cores", type=int, default=8)
+    run.add_argument("--channels", type=int, default=1)
+    run.add_argument("--instructions", type=int, default=10_000)
+    run.add_argument("--prefetcher", default="berti",
+                     choices=["none", "berti", "ipcp", "stride",
+                              "streamer"])
+    run.add_argument("--l2-prefetcher", default="none",
+                     choices=["none", "spp_ppf", "bingo"])
+    run.add_argument("--clip", action="store_true",
+                     help="enable CLIP filtering")
+    run.add_argument("--dynamic-clip", action="store_true",
+                     help="enable Dynamic CLIP (section 5.3)")
+    run.add_argument("--baseline", action="store_true",
+                     help="also run no-prefetching and report weighted "
+                          "speedup")
+    run.add_argument("--latency-report", action="store_true",
+                     help="capture per-load latencies and print "
+                          "percentiles/histogram")
+    run.add_argument("--markdown-report", metavar="PATH", default=None,
+                     help="write a full markdown report of the run")
+    run.add_argument("--tlb", action="store_true",
+                     help="model the Table-3 TLB hierarchy (DTLB/STLB + "
+                          "page walks)")
+
+    compare = sub.add_parser(
+        "compare", help="compare schemes on one workload (markdown table)")
+    compare.add_argument("--workload", default="605.mcf_s-1536B")
+    compare.add_argument("--cores", type=int, default=8)
+    compare.add_argument("--channels", type=int, default=1)
+    compare.add_argument("--instructions", type=int, default=8_000)
+    compare.add_argument("--schemes", nargs="+",
+                         default=["none", "berti", "berti+clip"])
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("name", choices=sorted(FIGURES) + sorted(TABLES))
+    figure.add_argument("--cores", type=int, default=None)
+    figure.add_argument("--instructions", type=int, default=None)
+
+    sub.add_parser("workloads", help="list workload models")
+    sub.add_parser("storage", help="print Table 2 (CLIP storage)")
+
+    characterize = sub.add_parser(
+        "characterize", help="static characterisation of a workload model")
+    characterize.add_argument("--workload", default="605.mcf_s-1536B")
+    characterize.add_argument("--instructions", type=int, default=20_000)
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = scaled_config(num_cores=args.cores, channels=args.channels,
+                           sim_instructions=args.instructions)
+    config.l1_prefetcher = dataclasses.replace(config.l1_prefetcher,
+                                               name=args.prefetcher)
+    config.l2_prefetcher = dataclasses.replace(config.l2_prefetcher,
+                                               name=args.l2_prefetcher)
+    config.clip = dataclasses.replace(config.clip,
+                                      enabled=args.clip or args.dynamic_clip,
+                                      dynamic=args.dynamic_clip)
+    if args.latency_report:
+        config.capture_request_trace = 200_000
+    if args.tlb:
+        config.tlb = dataclasses.replace(config.tlb, enabled=True)
+    mix = homogeneous_mix(args.workload, args.cores)
+    from repro.sim.system import MulticoreSystem
+    system = MulticoreSystem(config, mix)
+    result = system.run()
+    print(f"workload        : {args.workload} x{args.cores} cores, "
+          f"{args.channels} channel(s)")
+    print(f"instructions    : {result.total_instructions}")
+    print(f"cycles          : {result.total_cycles}")
+    print(f"aggregate IPC   : {sum(result.ipc_per_core):.3f}")
+    print(f"L1 miss latency : {result.average_l1_miss_latency():.1f} cycles")
+    print(f"DRAM reads/writes: {result.dram.reads}/{result.dram.writes} "
+          f"(util {result.dram.utilization:.2f})")
+    if result.prefetch.issued:
+        print(f"prefetches      : {result.prefetch.issued} issued, "
+              f"accuracy {result.prefetch.accuracy:.2f}, "
+              f"lateness {result.prefetch.lateness:.2f}")
+    if result.clip is not None:
+        print(f"CLIP            : kept "
+              f"{result.clip.prefetches_allowed}/"
+              f"{result.clip.prefetches_seen} candidates, prediction "
+              f"accuracy {result.clip.prediction_accuracy:.2f}, coverage "
+              f"{result.clip.prediction_coverage:.2f}")
+    if args.markdown_report:
+        from repro.experiments.report import run_report
+        from pathlib import Path
+        text = run_report(result,
+                          title=f"{args.workload} x{args.cores} cores, "
+                                f"{args.channels} channel(s)",
+                          trace=system.request_trace)
+        Path(args.markdown_report).write_text(text)
+        print(f"wrote {args.markdown_report}")
+    if args.latency_report and system.request_trace is not None:
+        from repro.sim.tracing import format_latency_report
+        print("\n-- latency report --")
+        print(format_latency_report(system.request_trace))
+    if args.baseline:
+        config_base = scaled_config(num_cores=args.cores,
+                                    channels=args.channels,
+                                    sim_instructions=args.instructions)
+        config_base.l1_prefetcher = dataclasses.replace(
+            config_base.l1_prefetcher, name="none")
+        baseline = run_system(config_base, mix)
+        print(f"weighted speedup vs no-prefetching: "
+              f"{weighted_speedup(result, baseline):.3f}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.name in TABLES:
+        TABLES[args.name]()
+        return 0
+    scale_fields = {}
+    if args.cores is not None:
+        scale_fields["num_cores"] = args.cores
+    if args.instructions is not None:
+        scale_fields["sim_instructions"] = args.instructions
+    scale = dataclasses.replace(experiments.BenchScale(), **scale_fields)
+    runner = experiments.ExperimentRunner(scale)
+    FIGURES[args.name](runner)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "workloads":
+        for name in workload_names():
+            print(name)
+        return 0
+    if args.command == "storage":
+        experiments.table2()
+        return 0
+    if args.command == "compare":
+        from repro.experiments.report import comparison_report
+        from repro.experiments.runner import ExperimentRunner, BenchScale
+        runner = ExperimentRunner(BenchScale(
+            num_cores=args.cores, sim_instructions=args.instructions))
+        results = {
+            scheme: runner.run_homogeneous(scheme, args.workload,
+                                           args.channels)
+            for scheme in args.schemes
+        }
+        baseline = "none" if "none" in results else args.schemes[0]
+        print(comparison_report(
+            results, baseline=baseline,
+            title=f"{args.workload} x{args.cores} cores, "
+                  f"{args.channels} channel(s)"))
+        return 0
+    if args.command == "characterize":
+        from repro.trace.analysis import format_profile, profile_trace
+        from repro.trace.synthetic import SyntheticWorkload
+        from repro.trace.workloads import get_workload
+        trace = SyntheticWorkload(get_workload(args.workload)).generate(
+            args.instructions)
+        print(format_profile(profile_trace(trace), name=args.workload))
+        return 0
+    return 1  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,345 @@
+"""System configuration dataclasses.
+
+The defaults reproduce Table 3 of the paper ("Simulation parameters of the
+baseline system"): a 64-core out-of-order system at 4 GHz with a three-level
+non-inclusive cache hierarchy, an 8x8 mesh network-on-chip with sliced LLC,
+and eight DDR4-3200 channels scheduled by a prefetch-aware (PADC-style)
+controller.
+
+Every experiment driver accepts a :class:`SystemConfig`; the benchmark suite
+scales it down (fewer cores, proportionally fewer channels, shorter traces)
+so that a pure-Python simulation finishes in seconds while keeping the
+paper's pivot ratio -- cores per DRAM channel -- intact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CoreConfig:
+    """Out-of-order core parameters (Table 3, row "Core")."""
+
+    frequency_ghz: float = 4.0
+    issue_width: int = 6
+    retire_width: int = 4
+    rob_entries: int = 512
+    load_queue_entries: int = 128
+    store_queue_entries: int = 72
+    #: Fixed pipeline refill penalty after a branch mispredict, in cycles.
+    mispredict_penalty: int = 15
+    #: Execution latency of non-memory instructions, in cycles.
+    alu_latency: int = 1
+
+
+@dataclass
+class BranchPredictorConfig:
+    """Hashed perceptron branch predictor (Table 3 cites Jimenez & Lin)."""
+
+    history_bits: int = 24
+    num_tables: int = 8
+    table_entries: int = 1024
+    weight_bits: int = 8
+    threshold: int = 18
+
+
+@dataclass
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    name: str = "L1D"
+    size_kib: int = 48
+    ways: int = 12
+    line_size: int = 64
+    latency: int = 5
+    mshr_entries: int = 16
+    replacement: str = "lru"
+
+    @property
+    def num_sets(self) -> int:
+        total_lines = self.size_kib * 1024 // self.line_size
+        return total_lines // self.ways
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_kib * 1024 // self.line_size
+
+    def __post_init__(self) -> None:
+        total_lines = self.size_kib * 1024 // self.line_size
+        if total_lines % self.ways:
+            raise ValueError(
+                f"{self.name}: {total_lines} lines not divisible by "
+                f"{self.ways} ways"
+            )
+
+
+def _default_l1i() -> CacheConfig:
+    return CacheConfig(name="L1I", size_kib=32, ways=8, latency=4,
+                       mshr_entries=8, replacement="lru")
+
+
+def _default_l1d() -> CacheConfig:
+    return CacheConfig(name="L1D", size_kib=48, ways=12, latency=5,
+                       mshr_entries=16, replacement="lru")
+
+
+def _default_l2() -> CacheConfig:
+    return CacheConfig(name="L2", size_kib=512, ways=8, latency=10,
+                       mshr_entries=32, replacement="srrip")
+
+
+def _default_llc_slice() -> CacheConfig:
+    # 2 MB per core, organised as one slice per mesh node.
+    return CacheConfig(name="LLC", size_kib=2048, ways=16, latency=20,
+                       mshr_entries=64, replacement="mockingjay")
+
+
+@dataclass
+class TlbConfig:
+    """TLB hierarchy (Table 3, row "TLBs").  Disabled by default at
+    benchmark scale; see ``repro.mmu.tlb`` for the rationale."""
+
+    enabled: bool = False
+    dtlb_entries: int = 64
+    dtlb_ways: int = 4
+    stlb_entries: int = 2048
+    stlb_ways: int = 16
+    #: STLB lookup latency in cycles (Table 3: 8 cycles).
+    stlb_latency: int = 8
+    #: Charge for a full page walk on an STLB miss.
+    page_walk_latency: int = 100
+    page_shift: int = 12
+
+
+@dataclass
+class NocConfig:
+    """8x8 mesh wormhole NoC (Table 3, rows "Network Router"/"Topology")."""
+
+    #: Router pipeline depth in cycles (2-stage wormhole router).
+    router_latency: int = 2
+    #: Link traversal latency in cycles.
+    link_latency: int = 1
+    #: Flits per data packet (64B line over 8-byte flits).
+    data_packet_flits: int = 8
+    #: Flits per address/request packet.
+    address_packet_flits: int = 1
+    virtual_channels: int = 6
+    flit_buffer_depth: int = 5
+
+
+@dataclass
+class DramConfig:
+    """DDR4-3200 channel timing (Table 3, rows "DRAM controller"/"chip").
+
+    All latencies are expressed in CPU cycles at ``CoreConfig.frequency_ghz``.
+    DDR4-3200 moves 25.6 GB/s per channel; one 64-byte line therefore
+    occupies the data bus for 2.5 ns = 10 CPU cycles at 4 GHz.
+    """
+
+    channels: int = 8
+    banks_per_channel: int = 16
+    row_buffer_bytes: int = 4096
+    #: tRP = tRCD = CAS = 12.5 ns (Table 3) = 50 cycles at 4 GHz.
+    trp_cycles: int = 50
+    trcd_cycles: int = 50
+    cas_cycles: int = 50
+    #: Data-bus occupancy of one 64B burst (burst length 16).
+    burst_cycles: int = 10
+    read_queue_entries: int = 64
+    write_queue_entries: int = 64
+    #: Writes drain once the write queue passes this fill fraction (7/8).
+    write_watermark: float = 7.0 / 8.0
+    #: Number of writes drained per drain episode.
+    write_drain_batch: int = 16
+    #: PADC-style prefetch-aware scheduling (demand-first).
+    prefetch_aware: bool = True
+    page_policy: str = "open"
+
+
+@dataclass
+class PrefetcherConfig:
+    """Which prefetcher runs at which level, plus shared knobs."""
+
+    #: One of "none", "berti", "ipcp", "spp_ppf", "bingo", "stride",
+    #: "streamer".
+    name: str = "berti"
+    degree: int = 4
+    #: Max in-flight prefetches queued at the issuing cache level.
+    queue_entries: int = 32
+
+
+@dataclass
+class ClipConfig:
+    """CLIP structures (Section 4.3, Table 2)."""
+
+    enabled: bool = False
+    # Criticality filter: 32 sets x 4 ways = 128 entries.
+    filter_sets: int = 32
+    filter_ways: int = 4
+    ip_tag_bits: int = 6
+    criticality_count_bits: int = 2
+    hit_count_bits: int = 6
+    issue_count_bits: int = 6
+    #: ROB-stall occurrences before an IP is considered critical.
+    criticality_count_threshold: int = 4
+    # Criticality predictor: 128 sets x 4 ways = 512 entries.
+    predictor_sets: int = 128
+    predictor_ways: int = 4
+    predictor_tag_bits: int = 6
+    saturating_counter_bits: int = 3
+    # Utility buffer CAM.
+    utility_buffer_entries: int = 64
+    # Global histories feeding the critical signature.
+    branch_history_bits: int = 32
+    criticality_history_bits: int = 32
+    #: Exploration window, in L1D misses (just above 768 L1D lines).
+    exploration_window_misses: int = 1024
+    #: Per-IP prefetch hit rate needed to keep prefetching for an IP.
+    accuracy_threshold: float = 0.90
+    #: APC deviation that signals an application phase change.
+    phase_change_threshold: float = 0.15
+    #: Number of past windows averaged for the APC baseline.
+    apc_history_windows: int = 16
+    #: Send the criticality flag to the NoC and DRAM scheduler.
+    criticality_conscious_noc_dram: bool = True
+    #: Stage-II per-IP accuracy filter (ablation knob).
+    use_accuracy_filter: bool = True
+    #: Dynamic CLIP (paper section 5.3, future work): bypass all filtering
+    #: while the measured DRAM utilisation says bandwidth is ample.
+    dynamic: bool = False
+    #: Utilisation above which dynamic CLIP engages filtering...
+    dynamic_on_utilization: float = 0.45
+    #: ...and below which it disengages (hysteresis).
+    dynamic_off_utilization: float = 0.30
+    #: Track criticality/accuracy by 4 KiB page instead of trigger IP --
+    #: the paper's variant for non-IP-based L2 prefetchers (section 4.2).
+    index_by_page: bool = False
+    #: Stage-I criticality filter/predictor (ablation knob).
+    use_criticality_filter: bool = True
+    #: Signature composition toggles (ablation knobs; paper section 4.2).
+    signature_use_address: bool = True
+    signature_use_branch_history: bool = True
+    signature_use_criticality_history: bool = True
+
+    def scaled(self, factor: float) -> "ClipConfig":
+        """Return a copy with both tables scaled by ``factor`` (Fig. 18)."""
+        clone = dataclasses.replace(self)
+        clone.filter_sets = max(1, int(self.filter_sets * factor))
+        clone.predictor_sets = max(1, int(self.predictor_sets * factor))
+        return clone
+
+
+@dataclass
+class CriticalityConfig:
+    """Baseline criticality predictor selection (Figs. 4-5)."""
+
+    #: One of "none", "catch", "fvp", "fp", "cbp", "robo", "crisp".
+    name: str = "none"
+    #: When False the predictor only *measures* (Fig. 4) and does not gate
+    #: prefetch requests (Fig. 5 uses gating).
+    gate: bool = True
+
+
+@dataclass
+class ThrottleConfig:
+    """Prefetch throttler selection (Fig. 6)."""
+
+    #: One of "none", "fdp", "hpac", "spac", "nst".
+    name: str = "none"
+
+
+@dataclass
+class RelatedConfig:
+    """Hermes / DSPatch comparators (Fig. 21)."""
+
+    hermes: bool = False
+    dspatch: bool = False
+
+
+@dataclass
+class SystemConfig:
+    """Complete multi-core system configuration (Table 3 defaults)."""
+
+    num_cores: int = 64
+    core: CoreConfig = field(default_factory=CoreConfig)
+    branch: BranchPredictorConfig = field(default_factory=BranchPredictorConfig)
+    tlb: TlbConfig = field(default_factory=TlbConfig)
+    l1i: CacheConfig = field(default_factory=_default_l1i)
+    l1d: CacheConfig = field(default_factory=_default_l1d)
+    l2: CacheConfig = field(default_factory=_default_l2)
+    llc_slice: CacheConfig = field(default_factory=_default_llc_slice)
+    noc: NocConfig = field(default_factory=NocConfig)
+    dram: DramConfig = field(default_factory=DramConfig)
+    l1_prefetcher: PrefetcherConfig = field(default_factory=PrefetcherConfig)
+    l2_prefetcher: PrefetcherConfig = field(
+        default_factory=lambda: PrefetcherConfig(name="none"))
+    clip: ClipConfig = field(default_factory=ClipConfig)
+    criticality: CriticalityConfig = field(default_factory=CriticalityConfig)
+    throttle: ThrottleConfig = field(default_factory=ThrottleConfig)
+    related: RelatedConfig = field(default_factory=RelatedConfig)
+    #: Instructions simulated per core before statistics are collected.
+    warmup_instructions: int = 0
+    #: When > 0, record up to this many per-demand-load latency records
+    #: (see ``repro.sim.tracing``); 0 disables tracing.
+    capture_request_trace: int = 0
+    #: Instructions simulated per core with statistics on.
+    sim_instructions: int = 20_000
+
+    @property
+    def mesh_dim(self) -> int:
+        """Mesh is the smallest square that seats every core (8x8 at 64)."""
+        root = math.isqrt(self.num_cores)
+        if root * root < self.num_cores:
+            root += 1
+        return root
+
+    def validate(self) -> None:
+        if self.num_cores < 1:
+            raise ValueError("num_cores must be positive")
+        if self.dram.channels < 1:
+            raise ValueError("at least one DRAM channel is required")
+        if self.core.retire_width > self.core.issue_width:
+            raise ValueError("retire width wider than issue width")
+
+    def replace(self, **changes: object) -> "SystemConfig":
+        """Return a shallow-copied config with top-level fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+def scaled_config(num_cores: int = 16,
+                  channels: int = 2,
+                  sim_instructions: int = 12_000,
+                  warmup_instructions: int = 0) -> SystemConfig:
+    """A benchmark-scale configuration preserving cores-per-channel ratios.
+
+    The paper's headline point is the ratio of cores to DDR4-3200 channels
+    (64 cores / 8 channels = 8 cores per channel).  ``scaled_config(16, 2)``
+    keeps that ratio while shrinking the simulation by 4x.
+
+    Caches shrink with the trace length so capacity behaviour (evictions,
+    pollution, reuse) appears within a 10^4-instruction run just as it does
+    within the paper's 200M-instruction windows; this lands the scaled
+    system near the paper's 512 KB-LLC/core sensitivity point (section
+    5.2), where the constrained-bandwidth effects are most visible.  CLIP's
+    exploration window shrinks in proportion to the L1D size, following the
+    paper's rule (window just above the number of L1D lines).
+    """
+    config = SystemConfig(num_cores=num_cores,
+                          sim_instructions=sim_instructions,
+                          warmup_instructions=warmup_instructions)
+    config.dram = dataclasses.replace(config.dram, channels=channels)
+    config.l1i = dataclasses.replace(config.l1i, size_kib=8, ways=8)
+    config.l1d = dataclasses.replace(config.l1d, size_kib=12, ways=12)
+    config.l2 = dataclasses.replace(config.l2, size_kib=64, ways=8)
+    config.llc_slice = dataclasses.replace(config.llc_slice,
+                                           size_kib=128, ways=16)
+    config.clip = dataclasses.replace(
+        config.clip,
+        exploration_window_misses=128,
+        apc_history_windows=6,
+        utility_buffer_entries=256)
+    config.validate()
+    return config

@@ -1,0 +1,31 @@
+"""CLIP: the paper's contribution.
+
+A two-stage critical-and-accurate load predictor that filters the prefetch
+requests of an underlying prefetcher:
+
+* Stage I (criticality): a criticality filter shortlists IPs that stall the
+  ROB head while serviced beyond L1, and a critical-signature-indexed
+  saturating-counter predictor tracks each load's *dynamic* criticality;
+* Stage II (accuracy): a per-IP prefetch accuracy tracker (utility buffer +
+  hit/issue counters) keeps only IPs the underlying prefetcher covers with
+  >= 90% per-IP hit rate.
+
+Surviving prefetches carry a criticality flag honoured by the NoC and DRAM
+schedulers and fill directly to L1.
+"""
+
+from repro.core.clip import Clip, ClipStats
+from repro.core.criticality_filter import CriticalityFilter, FilterEntry
+from repro.core.criticality_predictor import CriticalityPredictor
+from repro.core.history import ShiftRegister
+from repro.core.phase import ApcPhaseDetector
+from repro.core.signature import critical_signature
+from repro.core.storage import storage_overhead, storage_table
+from repro.core.utility_buffer import UtilityBuffer
+
+__all__ = [
+    "Clip", "ClipStats", "CriticalityFilter", "FilterEntry",
+    "CriticalityPredictor", "ShiftRegister", "ApcPhaseDetector",
+    "critical_signature", "UtilityBuffer", "storage_overhead",
+    "storage_table",
+]

@@ -1,0 +1,72 @@
+"""The critical signature (paper section 4.2).
+
+The signature is "a hashed bitwise XOR of an IP, virtual address, global
+conditional branch history of the last 32 branches, and global criticality
+history of the last 32 loads".  Folding address and IP before the XOR
+scatters concurrent loads across predictor entries (section 4.3 discusses
+why this keeps a 512-entry table sufficient for SPEC-class workloads).
+
+The per-component toggles support the paper's design-choice ablation
+("short histories ... the accuracy drops compared to a simple IP-based
+prediction").
+"""
+
+from __future__ import annotations
+
+
+def _fold(value: int, bits: int) -> int:
+    """XOR-fold an arbitrary-width value down to ``bits`` bits."""
+    mask = (1 << bits) - 1
+    folded = 0
+    value &= (1 << 64) - 1
+    while value:
+        folded ^= value & mask
+        value >>= bits
+    return folded
+
+
+def _mix(value: int) -> int:
+    """Cheap avalanche mix (xorshift-multiply) over 32 bits."""
+    value &= 0xFFFFFFFF
+    value ^= value >> 16
+    value = (value * 0x7FEB352D) & 0xFFFFFFFF
+    value ^= value >> 15
+    value = (value * 0x846CA68B) & 0xFFFFFFFF
+    value ^= value >> 16
+    return value
+
+
+def critical_signature(ip: int, line_address: int,
+                       branch_history: int, criticality_history: int,
+                       use_address: bool = True,
+                       use_branch_history: bool = True,
+                       use_criticality_history: bool = True,
+                       width: int = 13,
+                       address_granularity_shift: int = 8,
+                       branch_history_bits: int = 12,
+                       criticality_history_bits: int = 6) -> int:
+    """Compute the critical signature as a ``width``-bit value.
+
+    The signature must *generalise*: a prefetch targets an address that has
+    usually never been demanded before, so a full-entropy hash of the line
+    address would always miss the 512-entry predictor and every prefetch
+    would be dropped.  The address therefore enters at page granularity
+    (``address_granularity_shift`` line-address bits dropped -- 256 lines,
+    16 KiB, per signature region) and the histories enter as short slices;
+    this is the constructive aliasing the paper leans on when it argues 512
+    entries suffice because same-loop loads correlate (section 4.3).  The
+    signature width matches the predictor's index+tag space (128 sets x
+    6-bit tag = 2^13) so every distinct signature is representable.
+    """
+    signature = _fold(ip >> 2, width)
+    if use_address:
+        signature ^= _fold(line_address >> address_granularity_shift, width)
+    if use_branch_history:
+        slice_mask = (1 << branch_history_bits) - 1
+        signature ^= _fold(branch_history & slice_mask, width)
+    if use_criticality_history:
+        slice_mask = (1 << criticality_history_bits) - 1
+        # Rotate criticality history so it lands on different bits than the
+        # branch history instead of cancelling against it.
+        signature ^= _fold((criticality_history & slice_mask) << 5, width)
+    return _mix(signature) & ((1 << width) - 1)

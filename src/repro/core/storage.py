@@ -1,0 +1,75 @@
+"""Storage-overhead accounting (Table 2).
+
+Recomputes the paper's per-core storage budget from a :class:`ClipConfig`
+and the ROB size, so sensitivity sweeps (Fig. 18) report their true cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.config import ClipConfig
+
+
+@dataclass(frozen=True)
+class StorageRow:
+    structure: str
+    description: str
+    bits: int
+
+    @property
+    def bytes(self) -> float:
+        return self.bits / 8
+
+
+def storage_table(config: ClipConfig | None = None,
+                  rob_entries: int = 512) -> List[StorageRow]:
+    """Per-structure storage rows mirroring Table 2."""
+    c = config or ClipConfig()
+    rows = []
+    filter_entries = c.filter_sets * c.filter_ways
+    filter_entry_bits = (c.ip_tag_bits + c.criticality_count_bits
+                         + c.hit_count_bits + c.issue_count_bits + 1)
+    rows.append(StorageRow(
+        "Criticality filter",
+        f"{c.filter_sets}-set, {c.filter_ways}-way ({filter_entries}-entry);"
+        f" {c.ip_tag_bits}-bit IP tag, {c.criticality_count_bits}-bit crit"
+        f" count, {c.hit_count_bits}-bit hit count, {c.issue_count_bits}-bit"
+        " prefetch count, is-critical-and-accurate bit",
+        filter_entries * filter_entry_bits))
+    predictor_entries = c.predictor_sets * c.predictor_ways
+    predictor_entry_bits = (c.predictor_tag_bits
+                            + c.saturating_counter_bits + 1)
+    rows.append(StorageRow(
+        "Criticality predictor",
+        f"{c.predictor_sets} sets, {c.predictor_ways}-way"
+        f" ({predictor_entries}-entry); {c.predictor_tag_bits}-bit tag,"
+        f" {c.saturating_counter_bits}-bit saturating counter, NRU bit",
+        predictor_entries * predictor_entry_bits))
+    rows.append(StorageRow(
+        "ROB extension",
+        f"miss-level flag, 1 bit per entry ({rob_entries} entries)",
+        rob_entries))
+    rows.append(StorageRow("ROB stall flag", "1 bit", 1))
+    utility_entry_bits = c.ip_tag_bits + 58
+    rows.append(StorageRow(
+        "Utility buffer",
+        f"{c.utility_buffer_entries} entries; {c.ip_tag_bits}-bit IP tag,"
+        " 58-bit line-aligned prefetch address",
+        c.utility_buffer_entries * utility_entry_bits))
+    rows.append(StorageRow(
+        "Branch and criticality history",
+        f"{c.branch_history_bits}-bit and"
+        f" {c.criticality_history_bits}-bit shift registers",
+        c.branch_history_bits + c.criticality_history_bits))
+    rows.append(StorageRow("APC", "two 11-bit registers", 22))
+    rows.append(StorageRow("Exploration window", "10-bit reset count", 10))
+    return rows
+
+
+def storage_overhead(config: ClipConfig | None = None,
+                     rob_entries: int = 512) -> float:
+    """Total CLIP storage in KiB per core (paper: 1.56 KB)."""
+    total_bits = sum(row.bits for row in storage_table(config, rob_entries))
+    return total_bits / 8 / 1024

@@ -1,0 +1,6 @@
+"""Out-of-order core substrate: ROB dataflow model and branch prediction."""
+
+from repro.cpu.branch import HashedPerceptronPredictor
+from repro.cpu.core_model import Core, RobEntry, ServiceLevel
+
+__all__ = ["HashedPerceptronPredictor", "Core", "RobEntry", "ServiceLevel"]

@@ -1,0 +1,46 @@
+"""Baseline load-criticality predictors (paper sections 2.2 and 3).
+
+All six predictors the paper compares against (Fig. 4) plus the shared
+measurement harness.  Each predictor observes core events through the same
+hooks CLIP uses and exposes an IP-level criticality prediction; the paper's
+central observation is that IP-granularity prediction over-predicts because
+criticality is *dynamic* (Table 1).
+"""
+
+from repro.criticality.base import BaselineCriticalityPredictor
+from repro.criticality.catch import CatchPredictor
+from repro.criticality.fvp import FvpPredictor
+from repro.criticality.fp import FocusedPrefetchingPredictor
+from repro.criticality.cbp import CommitBlockPredictor
+from repro.criticality.robo import RoboPredictor
+from repro.criticality.crisp import CrispPredictor
+
+_FACTORIES = {
+    "catch": CatchPredictor,
+    "fvp": FvpPredictor,
+    "fp": FocusedPrefetchingPredictor,
+    "cbp": CommitBlockPredictor,
+    "robo": RoboPredictor,
+    "crisp": CrispPredictor,
+}
+
+
+def make_criticality_predictor(name: str) -> BaselineCriticalityPredictor:
+    """Instantiate a baseline criticality predictor by name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(f"unknown criticality predictor {name!r}; "
+                         f"choose from {sorted(_FACTORIES)}") from None
+    return factory()
+
+
+def predictor_names() -> list:
+    return sorted(_FACTORIES)
+
+
+__all__ = [
+    "BaselineCriticalityPredictor", "CatchPredictor", "FvpPredictor",
+    "FocusedPrefetchingPredictor", "CommitBlockPredictor", "RoboPredictor",
+    "CrispPredictor", "make_criticality_predictor", "predictor_names",
+]

@@ -1,0 +1,94 @@
+"""CATCH: Criticality-Aware Tiered Cache Hierarchy (ISCA 2018).
+
+CATCH enumerates the data dependency graph of retiring instructions and
+marks every load IP on the costliest path as critical, with a confidence
+mechanism.  Table 1's critique: it also tags loads in the vicinity of
+branch mispredictions even when they do not stall, and it is blind to MLP
+(cheap loads shadowed by expensive ones still get flagged) -- so it
+over-predicts, yielding ~100% coverage but poor accuracy.
+
+We track each retiring instruction's dependence-chain cost incrementally
+(cost = max producer cost + own execution span, the paper's incremental
+costliest-incoming-edge walk) and flag the load IPs whose chains dominate
+an interval, plus loads retired near a mispredicted branch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cpu.core_model import Core, Op, RobEntry
+from repro.criticality.base import BaselineCriticalityPredictor
+
+
+class CatchPredictor(BaselineCriticalityPredictor):
+    """DDG costliest-path critical-IP predictor."""
+
+    name = "catch"
+    INTERVAL = 2048
+    CONFIDENCE_MAX = 4
+    BRANCH_VICINITY = 8
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: ip -> confidence counter (>=1 means predicted critical).
+        self._confidence: Dict[int, int] = {}
+        #: ip -> accumulated chain cost this interval.
+        self._interval_cost: Dict[int, int] = {}
+        self._interval_retires = 0
+        self._last_mispredict_seq = -(10 ** 9)
+        self._retire_seq = 0
+
+    # ------------------------------------------------------------------
+
+    def on_branch(self, core: Core, ip: int, taken: bool,
+                  mispredicted: bool, cycle: int) -> None:
+        if mispredicted:
+            self._last_mispredict_seq = self._retire_seq
+
+    def on_retire(self, core: Core, entry: RobEntry, cycle: int,
+                  head_wait: int) -> None:
+        self._retire_seq += 1
+        self._interval_retires += 1
+        if entry.op == Op.LOAD:
+            chain_cost = 0
+            if entry.done_at is not None:
+                chain_cost = entry.done_at - entry.dispatched_at
+            self._interval_cost[entry.ip] = \
+                self._interval_cost.get(entry.ip, 0) + chain_cost
+            # Vicinity-of-misprediction tagging (the over-prediction source).
+            if self._retire_seq - self._last_mispredict_seq \
+                    <= self.BRANCH_VICINITY:
+                self._interval_cost[entry.ip] = \
+                    self._interval_cost.get(entry.ip, 0) + 64
+        if self._interval_retires >= self.INTERVAL:
+            self._close_interval()
+
+    def _close_interval(self) -> None:
+        self._interval_retires = 0
+        if not self._interval_cost:
+            return
+        # IPs on the costliest paths: everything above 25% of the max
+        # accumulated chain cost gains confidence (a very permissive cut,
+        # as CATCH aims for full coverage); the rest decays.
+        peak = max(self._interval_cost.values())
+        cut = peak * 0.05
+        flagged = {ip for ip, cost in self._interval_cost.items()
+                   if cost >= cut}
+        for ip in flagged:
+            self._confidence[ip] = min(self.CONFIDENCE_MAX,
+                                       self._confidence.get(ip, 0) + 1)
+        for ip in list(self._confidence):
+            if ip not in flagged:
+                self._confidence[ip] -= 1
+                if self._confidence[ip] <= 0:
+                    del self._confidence[ip]
+        self._interval_cost.clear()
+
+    # ------------------------------------------------------------------
+
+    def predict(self, entry: RobEntry) -> bool:
+        return self.predicts_critical_ip(entry.ip)
+
+    def predicts_critical_ip(self, ip: int) -> bool:
+        return self._confidence.get(ip, 0) >= 1

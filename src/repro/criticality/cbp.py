@@ -1,0 +1,45 @@
+"""CBP: Commit Block Predictor (Ghose/Lee/Martinez, ISCA 2013).
+
+Predicts loads that block commit (stall the ROB head), scoring IPs by
+maximum and total stall time.  Table 1's critique (shared with ROBO): once
+an IP is flagged it stays critical, blind to dynamic behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cpu.core_model import Core, Op, RobEntry
+from repro.criticality.base import BaselineCriticalityPredictor
+
+
+class CommitBlockPredictor(BaselineCriticalityPredictor):
+    """Total/max-stall-time commit-block prediction (static per IP)."""
+
+    name = "cbp"
+    #: An IP whose worst single stall exceeds this, or whose accumulated
+    #: stall exceeds TOTAL_STALL_THRESHOLD, is flagged critical for good.
+    MAX_STALL_THRESHOLD = 24
+    TOTAL_STALL_THRESHOLD = 256
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._total_stall: Dict[int, int] = {}
+        self._flagged: Dict[int, bool] = {}
+
+    def on_retire(self, core: Core, entry: RobEntry, cycle: int,
+                  head_wait: int) -> None:
+        if entry.op != Op.LOAD or head_wait <= 0:
+            return
+        ip = entry.ip
+        total = self._total_stall.get(ip, 0) + head_wait
+        self._total_stall[ip] = total
+        if head_wait >= self.MAX_STALL_THRESHOLD \
+                or total >= self.TOTAL_STALL_THRESHOLD:
+            self._flagged[ip] = True
+
+    def predict(self, entry: RobEntry) -> bool:
+        return self.predicts_critical_ip(entry.ip)
+
+    def predicts_critical_ip(self, ip: int) -> bool:
+        return self._flagged.get(ip, False)

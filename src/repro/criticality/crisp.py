@@ -1,0 +1,48 @@
+"""CRISP: Critical Slice Prefetching (ASPLOS 2022).
+
+CRISP calls a load critical when it misses the LLC *and* exhibits low
+memory-level parallelism (an isolated off-chip miss hurts more than one of
+many overlapping misses), using fixed thresholds.  Table 1's critique: it
+ignores L1/L2-serviced loads that stall the ROB head -- precisely the loads
+that dominate under constrained DRAM bandwidth (60% of stalls come from L2
+and LLC hits, section 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cpu.core_model import Core, RobEntry, ServiceLevel
+from repro.criticality.base import BaselineCriticalityPredictor
+
+
+class CrispPredictor(BaselineCriticalityPredictor):
+    """LLC-miss + low-MLP thresholding."""
+
+    name = "crisp"
+    MLP_THRESHOLD = 4
+    LLC_MISS_COUNT_THRESHOLD = 2
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._llc_miss_count: Dict[int, int] = {}
+        self._low_mlp_count: Dict[int, int] = {}
+
+    def predict(self, entry: RobEntry) -> bool:
+        return self.predicts_critical_ip(entry.ip)
+
+    def train(self, core: Core, entry: RobEntry, cycle: int,
+              critical: bool) -> None:
+        if entry.service_level == ServiceLevel.DRAM:
+            self._llc_miss_count[entry.ip] = \
+                self._llc_miss_count.get(entry.ip, 0) + 1
+            if entry.mlp_at_issue <= self.MLP_THRESHOLD:
+                self._low_mlp_count[entry.ip] = \
+                    self._low_mlp_count.get(entry.ip, 0) + 1
+
+    def predicts_critical_ip(self, ip: int) -> bool:
+        misses = self._llc_miss_count.get(ip, 0)
+        if misses < self.LLC_MISS_COUNT_THRESHOLD:
+            return False
+        low_mlp = self._low_mlp_count.get(ip, 0)
+        return low_mlp * 2 >= misses

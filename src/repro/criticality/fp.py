@@ -1,0 +1,59 @@
+"""FP: Focused Prefetching / LIMCOS (ICS 2008).
+
+Focused Prefetching observed that a few loads incur the majority of commit
+stalls (LIMCOS) and steers the prefetcher to exactly those.  The predictor
+accumulates per-IP commit-stall cycles over an epoch and flags the smallest
+IP set covering 90% of the stall mass.  Table 1's critique: purely
+stall-mass driven, so it effectively marks most L3 misses critical and
+ignores IPs with modest stalls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.cpu.core_model import Core, Op, RobEntry
+from repro.criticality.base import BaselineCriticalityPredictor
+
+
+class FocusedPrefetchingPredictor(BaselineCriticalityPredictor):
+    """LIMCOS: loads incurring the majority of commit stalls."""
+
+    name = "fp"
+    EPOCH_RETIRES = 2048
+    STALL_MASS_FRACTION = 0.90
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._stall_cycles: Dict[int, int] = {}
+        self._epoch_retires = 0
+        self._critical_set: Set[int] = set()
+
+    def on_retire(self, core: Core, entry: RobEntry, cycle: int,
+                  head_wait: int) -> None:
+        self._epoch_retires += 1
+        if entry.op == Op.LOAD and head_wait > 0:
+            self._stall_cycles[entry.ip] = \
+                self._stall_cycles.get(entry.ip, 0) + head_wait
+        if self._epoch_retires >= self.EPOCH_RETIRES:
+            self._close_epoch()
+
+    def _close_epoch(self) -> None:
+        self._epoch_retires = 0
+        total = sum(self._stall_cycles.values())
+        self._critical_set = set()
+        if total:
+            accumulated = 0
+            for ip, stall in sorted(self._stall_cycles.items(),
+                                    key=lambda item: -item[1]):
+                self._critical_set.add(ip)
+                accumulated += stall
+                if accumulated >= total * self.STALL_MASS_FRACTION:
+                    break
+        self._stall_cycles.clear()
+
+    def predict(self, entry: RobEntry) -> bool:
+        return self.predicts_critical_ip(entry.ip)
+
+    def predicts_critical_ip(self, ip: int) -> bool:
+        return ip in self._critical_set

@@ -1,0 +1,52 @@
+"""FVP: Focused Value Prediction's criticality detector (ISCA 2020).
+
+FVP marks instructions whose execution is still in flight when they enter
+the retire-width window, and identifies the roots of data-dependency
+chains.  Table 1's critique: any load that produces a value consumed by a
+nearby instruction gets tagged, so FVP "ends up tagging excessively" --
+full coverage, poor accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cpu.core_model import Core, Op, RobEntry
+from repro.criticality.base import BaselineCriticalityPredictor
+
+
+class FvpPredictor(BaselineCriticalityPredictor):
+    """Dependence-root / retire-window in-flight tagging."""
+
+    name = "fvp"
+    CONFIDENCE_MAX = 8
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._confidence: Dict[int, int] = {}
+
+    def on_retire(self, core: Core, entry: RobEntry, cycle: int,
+                  head_wait: int) -> None:
+        if entry.op != Op.LOAD:
+            return
+        # "Root of a data dependency chain": the load produced a value some
+        # other instruction consumed.  "In-flight in the retire window":
+        # it was still executing when it reached the ROB head.
+        in_flight_at_head = head_wait > 0
+        is_chain_root = entry.consumer_count > 0
+        if is_chain_root or in_flight_at_head:
+            self._confidence[entry.ip] = min(
+                self.CONFIDENCE_MAX, self._confidence.get(entry.ip, 0) + 1)
+        else:
+            current = self._confidence.get(entry.ip)
+            if current is not None:
+                if current <= 1:
+                    del self._confidence[entry.ip]
+                else:
+                    self._confidence[entry.ip] = current - 1
+
+    def predict(self, entry: RobEntry) -> bool:
+        return self.predicts_critical_ip(entry.ip)
+
+    def predicts_critical_ip(self, ip: int) -> bool:
+        return self._confidence.get(ip, 0) >= 2

@@ -1,0 +1,42 @@
+"""ROBO: ROB-occupancy-based criticality prediction (CAL 2021).
+
+On a retirement stall, high ROB occupancy indicates the stalling load is
+critical (the backlog behind it is large).  Table 1's critique: once an IP
+is flagged, it is considered critical for the rest of execution --
+static-critical, blind to recurrence-level dynamics.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.cpu.core_model import Core, Op, RobEntry
+from repro.criticality.base import BaselineCriticalityPredictor
+
+
+class RoboPredictor(BaselineCriticalityPredictor):
+    """ROB-occupancy thresholding, sticky per-IP flag."""
+
+    name = "robo"
+    #: Fraction of ROB capacity that counts as "high occupancy".
+    OCCUPANCY_FRACTION = 0.5
+    #: Minimum stall length that triggers consideration at all.
+    STALL_THRESHOLD = 4
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._flagged: Set[int] = set()
+
+    def on_retire(self, core: Core, entry: RobEntry, cycle: int,
+                  head_wait: int) -> None:
+        if entry.op != Op.LOAD or head_wait < self.STALL_THRESHOLD:
+            return
+        occupancy_limit = core.config.rob_entries * self.OCCUPANCY_FRACTION
+        if core.rob_occupancy >= occupancy_limit:
+            self._flagged.add(entry.ip)
+
+    def predict(self, entry: RobEntry) -> bool:
+        return self.predicts_critical_ip(entry.ip)
+
+    def predicts_critical_ip(self, ip: int) -> bool:
+        return ip in self._flagged

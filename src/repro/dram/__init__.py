@@ -1,0 +1,6 @@
+"""DRAM substrate: DDR4 channel timing and PADC-style scheduling."""
+
+from repro.dram.address_mapping import AddressMapping
+from repro.dram.controller import DramChannel, DramRequest, DramSystem
+
+__all__ = ["AddressMapping", "DramChannel", "DramRequest", "DramSystem"]

@@ -1,0 +1,48 @@
+"""Physical address to DRAM coordinate mapping.
+
+Cache lines interleave across channels at line granularity (maximising
+channel-level parallelism, the common many-core choice), then across banks
+at row granularity, so streaming accesses enjoy row-buffer hits while
+spreading over every channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DramConfig
+
+
+@dataclass(frozen=True)
+class DramCoordinates:
+    channel: int
+    bank: int
+    row: int
+
+
+class AddressMapping:
+    """line address -> (channel, bank, row)."""
+
+    def __init__(self, config: DramConfig, line_size: int = 64) -> None:
+        self.config = config
+        self.lines_per_row = config.row_buffer_bytes // line_size
+        if self.lines_per_row < 1:
+            raise ValueError("row buffer smaller than a cache line")
+
+    def locate(self, line: int) -> DramCoordinates:
+        channels = self.config.channels
+        channel = line % channels
+        in_channel = line // channels
+        row_chunk = in_channel // self.lines_per_row
+        banks = self.config.banks_per_channel
+        row = row_chunk // banks
+        # XOR bank hashing (all row bits folded into the bank index in
+        # 4-bit groups): spreads power-of-two-strided and base-aligned
+        # streams across banks, as every modern controller does to avoid
+        # bank camping.
+        bank = row_chunk
+        folded = row
+        while folded:
+            bank ^= folded
+            folded >>= 4
+        return DramCoordinates(channel=channel, bank=bank % banks, row=row)

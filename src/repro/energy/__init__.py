@@ -1,0 +1,5 @@
+"""Dynamic energy model (paper section 5, "Energy model")."""
+
+from repro.energy.model import EnergyBreakdown, dynamic_energy
+
+__all__ = ["EnergyBreakdown", "dynamic_energy"]

@@ -1,0 +1,83 @@
+"""Dynamic energy of the memory hierarchy.
+
+The paper feeds CACTI-P (7 nm) and the Micron DRAM power calculator with
+per-structure access counts.  We embed CACTI-class per-access energies
+(order-of-magnitude figures for 7 nm SRAM arrays and DDR4 devices; only
+*relative* energy matters for the paper's claims) and aggregate them with
+the simulation's access counts.  CLIP's own structures are charged too, as
+the paper notes its energy accounting includes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.sim.stats import SimulationResult
+
+#: Per-access dynamic energies in picojoules (7 nm class, tag+data).
+ENERGY_PJ = {
+    "l1d_access": 12.0,
+    "l2_access": 35.0,
+    "llc_access": 90.0,
+    "noc_flit_hop": 4.0,
+    "dram_read": 15_000.0,
+    "dram_write": 15_500.0,
+    "dram_activate": 9_000.0,
+    # CLIP structures (Table 2 scale: a few hundred bytes each).
+    "clip_filter": 0.6,
+    "clip_predictor": 0.8,
+    "clip_utility_cam": 1.5,
+}
+
+
+@dataclass
+class EnergyBreakdown:
+    """Dynamic energy by component, in millijoules."""
+
+    components_mj: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_mj(self) -> float:
+        return sum(self.components_mj.values())
+
+
+def dynamic_energy(result: SimulationResult,
+                   clip_events: int = 0) -> EnergyBreakdown:
+    """Aggregate dynamic energy from a simulation result.
+
+    ``clip_events`` approximates CLIP-structure activity (filter/predictor
+    lookups); callers may pass the number of L1D accesses when CLIP ran.
+    """
+    breakdown = EnergyBreakdown()
+    levels = result.levels
+    picojoules: Dict[str, float] = {}
+    l1 = levels.get("L1D")
+    if l1 is not None:
+        accesses = l1.demand_accesses + l1.prefetch_fills
+        picojoules["L1D"] = accesses * ENERGY_PJ["l1d_access"]
+    l2 = levels.get("L2")
+    if l2 is not None:
+        accesses = l2.demand_accesses + l2.prefetch_fills
+        picojoules["L2"] = accesses * ENERGY_PJ["l2_access"]
+    llc = levels.get("LLC")
+    if llc is not None:
+        accesses = llc.demand_accesses + llc.prefetch_fills
+        picojoules["LLC"] = accesses * ENERGY_PJ["llc_access"]
+    # Flit-hops approximated as flits x mean hop count (mesh diameter / 3
+    # when packet-level hop data is unavailable).
+    mean_hops = 3.0
+    picojoules["NoC"] = (result.noc.flits * mean_hops
+                         * ENERGY_PJ["noc_flit_hop"])
+    picojoules["DRAM"] = (
+        result.dram.reads * ENERGY_PJ["dram_read"]
+        + result.dram.writes * ENERGY_PJ["dram_write"]
+        + result.dram.row_misses * ENERGY_PJ["dram_activate"])
+    if clip_events:
+        picojoules["CLIP"] = clip_events * (
+            ENERGY_PJ["clip_filter"] + ENERGY_PJ["clip_predictor"]
+            + ENERGY_PJ["clip_utility_cam"])
+    breakdown.components_mj = {
+        name: pj / 1e9 for name, pj in picojoules.items()
+    }
+    return breakdown

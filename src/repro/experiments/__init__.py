@@ -1,0 +1,29 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Each ``figureN`` / ``tableN`` function runs the required simulations at a
+configurable (default: benchmark) scale, prints the same rows/series the
+paper reports, and returns the numbers as a dictionary so tests and
+benchmarks can assert on the *shape* of the result.  See DESIGN.md
+section 5 for the experiment index and EXPERIMENTS.md for paper-vs-measured
+records.
+"""
+
+from repro.experiments.figures import (figure1, figure2, figure3, figure4,
+                                       figure5, figure6, figure9, figure10,
+                                       figure11, figure12, figure13,
+                                       figure14, figure15, figure16,
+                                       figure17, figure18, figure19,
+                                       figure20, figure21, table2, table3,
+                                       energy_study, llc_sensitivity,
+                                       core_count_sensitivity,
+                                       ablation_study)
+from repro.experiments.runner import BenchScale, ExperimentRunner
+
+__all__ = [
+    "figure1", "figure2", "figure3", "figure4", "figure5", "figure6",
+    "figure9", "figure10", "figure11", "figure12", "figure13", "figure14",
+    "figure15", "figure16", "figure17", "figure18", "figure19", "figure20",
+    "figure21", "table2", "table3", "energy_study", "llc_sensitivity",
+    "ablation_study",
+    "core_count_sensitivity", "BenchScale", "ExperimentRunner",
+]

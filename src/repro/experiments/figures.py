@@ -1,0 +1,792 @@
+"""Drivers that regenerate every table and figure of the paper.
+
+Each driver prints the paper's rows/series at a scaled-down configuration
+(see :class:`repro.experiments.runner.BenchScale` and DESIGN.md section 2)
+and returns the numbers for programmatic use.  The scaled channel axis maps
+to the paper's channel axis by cores-per-channel: with the default 8-core
+scale, 1 scaled channel corresponds to the paper's 8-channel (constrained)
+point and 8-16 scaled channels to its 64-channel (unconstrained) point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.core.storage import storage_overhead, storage_table
+from repro.criticality import predictor_names
+from repro.energy import dynamic_energy
+from repro.experiments.reporting import (arithmetic_mean, geometric_mean,
+                                         print_figure)
+from repro.experiments.runner import BenchScale, ExperimentRunner
+from repro.sim.stats import weighted_speedup
+from repro.throttle import throttler_names
+from repro.trace.workloads import SPEC_HOMOGENEOUS_MIXES
+
+#: Prefetchers compared throughout the evaluation (paper Figs. 1, 2, 9, 19).
+PREFETCHER_SCHEMES = ["berti", "ipcp", "bingo", "spp_ppf"]
+
+
+def _runner(runner: Optional[ExperimentRunner]) -> ExperimentRunner:
+    return runner if runner is not None else ExperimentRunner()
+
+
+def _homog_speedups(runner: ExperimentRunner, scheme: str, channels: int,
+                    workloads: Sequence[str], **overrides) -> List[float]:
+    return [runner.speedup_homogeneous(scheme, workload, channels,
+                                       **overrides)
+            for workload in workloads]
+
+
+def _hetero_speedups(runner: ExperimentRunner, scheme: str, channels: int,
+                     mixes: Sequence[Sequence[str]], **overrides
+                     ) -> List[float]:
+    return [runner.speedup_mix(scheme, mix, channels, **overrides)
+            for mix in mixes]
+
+
+# ---------------------------------------------------------------------------
+# Figures 1-3: the problem (prefetchers under constrained bandwidth)
+# ---------------------------------------------------------------------------
+
+def figure1(runner: Optional[ExperimentRunner] = None,
+            quiet: bool = False) -> Dict:
+    """Fig. 1: prefetcher weighted speedup vs DRAM channels (homogeneous).
+
+    Paper shape: every prefetcher loses against no-prefetching at the
+    constrained end and wins at the unconstrained end.
+    """
+    runner = _runner(runner)
+    workloads = runner.scale.sample_homogeneous()
+    channels = list(runner.scale.channel_sweep)
+    series: Dict[str, List[float]] = {}
+    for scheme in PREFETCHER_SCHEMES:
+        series[scheme] = [
+            geometric_mean(_homog_speedups(runner, scheme, ch, workloads))
+            for ch in channels
+        ]
+    if not quiet:
+        rows = [[scheme] + series[scheme] for scheme in PREFETCHER_SCHEMES]
+        print_figure("Figure 1: normalized weighted speedup, homogeneous "
+                     "mixes", ["prefetcher"] + [f"ch={c}" for c in channels],
+                     rows)
+    return {"channels": channels, "series": series}
+
+
+def figure2(runner: Optional[ExperimentRunner] = None,
+            quiet: bool = False) -> Dict:
+    """Fig. 2: prefetcher weighted speedup vs channels (heterogeneous)."""
+    runner = _runner(runner)
+    mixes = runner.heterogeneous()
+    channels = list(runner.scale.channel_sweep)
+    series: Dict[str, List[float]] = {}
+    for scheme in PREFETCHER_SCHEMES:
+        series[scheme] = [
+            geometric_mean(_hetero_speedups(runner, scheme, ch, mixes))
+            for ch in channels
+        ]
+    if not quiet:
+        rows = [[scheme] + series[scheme] for scheme in PREFETCHER_SCHEMES]
+        print_figure("Figure 2: normalized weighted speedup, heterogeneous "
+                     "mixes", ["prefetcher"] + [f"ch={c}" for c in channels],
+                     rows)
+    return {"channels": channels, "series": series}
+
+
+def figure3(runner: Optional[ExperimentRunner] = None,
+            quiet: bool = False) -> Dict:
+    """Fig. 3: demand miss latency inflation (Berti / no-prefetching).
+
+    Paper shape: >=1.9x at L2/LLC for 4-8 channels, shrinking with more
+    channels.
+    """
+    runner = _runner(runner)
+    workloads = runner.scale.sample_homogeneous()
+    channels = list(runner.scale.channel_sweep)
+    levels = ["L1D", "L2", "LLC"]
+    inflation: Dict[str, List[float]] = {level: [] for level in levels}
+    for ch in channels:
+        ratios = {level: [] for level in levels}
+        for workload in workloads:
+            base = runner.run_homogeneous("none", workload, ch)
+            berti = runner.run_homogeneous("berti", workload, ch)
+            for level in levels:
+                base_latency = base.levels[level].average_miss_latency
+                if base_latency > 0:
+                    ratios[level].append(
+                        berti.levels[level].average_miss_latency
+                        / base_latency)
+        for level in levels:
+            inflation[level].append(arithmetic_mean(ratios[level]))
+    if not quiet:
+        rows = [[level] + inflation[level] for level in levels]
+        print_figure("Figure 3: average demand miss latency with Berti, "
+                     "normalized to no prefetching",
+                     ["level"] + [f"ch={c}" for c in channels], rows)
+    return {"channels": channels, "inflation": inflation}
+
+
+# ---------------------------------------------------------------------------
+# Figures 4-6: why existing solutions fall short
+# ---------------------------------------------------------------------------
+
+def figure4(runner: Optional[ExperimentRunner] = None,
+            quiet: bool = False) -> Dict:
+    """Fig. 4: accuracy and coverage of baseline criticality predictors.
+
+    Measured in the presence of Berti prefetching, against the paper's
+    ground truth (load stalls the ROB head while serviced beyond L1).
+    Paper shape: high coverage, low accuracy.
+    """
+    runner = _runner(runner)
+    workloads = runner.scale.sample_homogeneous()
+    channels = runner.scale.constrained_channels
+    accuracy: Dict[str, float] = {}
+    coverage: Dict[str, float] = {}
+    for name in predictor_names():
+        accs, covs = [], []
+        for workload in workloads:
+            result = runner.run_homogeneous(
+                "berti", workload, channels,
+                criticality=name, crit_gate=False)
+            assert result.criticality is not None
+            accs.append(result.criticality.accuracy)
+            covs.append(result.criticality.coverage)
+        accuracy[name] = arithmetic_mean(accs)
+        coverage[name] = arithmetic_mean(covs)
+    if not quiet:
+        rows = [[name, accuracy[name], coverage[name]]
+                for name in predictor_names()]
+        print_figure("Figure 4: criticality prediction accuracy/coverage "
+                     "of prior predictors",
+                     ["predictor", "accuracy", "coverage"], rows)
+    return {"accuracy": accuracy, "coverage": coverage}
+
+
+def figure5(runner: Optional[ExperimentRunner] = None,
+            quiet: bool = False) -> Dict:
+    """Fig. 5: Berti gated by baseline criticality predictors.
+
+    Paper shape: none of the prior predictors rescues Berti at low
+    bandwidth.
+    """
+    runner = _runner(runner)
+    workloads = runner.scale.sample_homogeneous()
+    hetero = runner.heterogeneous()
+    channels = list(runner.scale.channel_sweep[:3])
+    schemes = ["berti"] + [f"berti+{n}" for n in predictor_names()]
+    homog: Dict[str, List[float]] = {}
+    heterog: Dict[str, List[float]] = {}
+    for scheme in schemes:
+        crit = scheme.split("+")[1] if "+" in scheme else None
+        overrides = {"criticality": crit} if crit else {}
+        homog[scheme] = [
+            geometric_mean(_homog_speedups(runner, "berti", ch, workloads,
+                                           **overrides))
+            for ch in channels
+        ]
+        heterog[scheme] = [
+            geometric_mean(_hetero_speedups(runner, "berti", ch, hetero,
+                                            **overrides))
+            for ch in channels
+        ]
+    if not quiet:
+        print_figure("Figure 5a: Berti + criticality predictors "
+                     "(homogeneous)",
+                     ["scheme"] + [f"ch={c}" for c in channels],
+                     [[s] + homog[s] for s in schemes])
+        print_figure("Figure 5b: Berti + criticality predictors "
+                     "(heterogeneous)",
+                     ["scheme"] + [f"ch={c}" for c in channels],
+                     [[s] + heterog[s] for s in schemes])
+    return {"channels": channels, "homogeneous": homog,
+            "heterogeneous": heterog}
+
+
+def figure6(runner: Optional[ExperimentRunner] = None,
+            quiet: bool = False) -> Dict:
+    """Fig. 6: Berti with prefetch throttlers (FDP/HPAC/SPAC/NST).
+
+    Paper shape: marginal improvements; big slowdowns remain.
+    """
+    runner = _runner(runner)
+    workloads = runner.scale.sample_homogeneous()
+    hetero = runner.heterogeneous()
+    channels = list(runner.scale.channel_sweep[:3])
+    schemes = ["berti"] + [f"berti+{n}" for n in throttler_names()]
+    homog: Dict[str, List[float]] = {}
+    heterog: Dict[str, List[float]] = {}
+    for scheme in schemes:
+        throttle = scheme.split("+")[1] if "+" in scheme else None
+        overrides = {"throttle": throttle} if throttle else {}
+        homog[scheme] = [
+            geometric_mean(_homog_speedups(runner, "berti", ch, workloads,
+                                           **overrides))
+            for ch in channels
+        ]
+        heterog[scheme] = [
+            geometric_mean(_hetero_speedups(runner, "berti", ch, hetero,
+                                            **overrides))
+            for ch in channels
+        ]
+    if not quiet:
+        print_figure("Figure 6a: Berti + throttlers (homogeneous)",
+                     ["scheme"] + [f"ch={c}" for c in channels],
+                     [[s] + homog[s] for s in schemes])
+        print_figure("Figure 6b: Berti + throttlers (heterogeneous)",
+                     ["scheme"] + [f"ch={c}" for c in channels],
+                     [[s] + heterog[s] for s in schemes])
+    return {"channels": channels, "homogeneous": homog,
+            "heterogeneous": heterog}
+
+
+# ---------------------------------------------------------------------------
+# Figures 9-16: CLIP's key results
+# ---------------------------------------------------------------------------
+
+def figure9(runner: Optional[ExperimentRunner] = None,
+            quiet: bool = False) -> Dict:
+    """Fig. 9: CLIP with the four prefetchers at the constrained point.
+
+    Paper: CLIP improves Berti by 24% (homog) and 9% (heterog) at 8
+    channels for 64 cores.
+    """
+    runner = _runner(runner)
+    workloads = runner.scale.sample_homogeneous()
+    hetero = runner.heterogeneous()
+    channels = runner.scale.constrained_channels
+    homog: Dict[str, float] = {}
+    heterog: Dict[str, float] = {}
+    for scheme in PREFETCHER_SCHEMES:
+        homog[scheme] = geometric_mean(
+            _homog_speedups(runner, scheme, channels, workloads))
+        homog[scheme + "+clip"] = geometric_mean(
+            _homog_speedups(runner, scheme + "+clip", channels, workloads))
+        heterog[scheme] = geometric_mean(
+            _hetero_speedups(runner, scheme, channels, hetero))
+        heterog[scheme + "+clip"] = geometric_mean(
+            _hetero_speedups(runner, scheme + "+clip", channels, hetero))
+    if not quiet:
+        rows = [[s, homog[s], homog[s + "+clip"], heterog[s],
+                 heterog[s + "+clip"]] for s in PREFETCHER_SCHEMES]
+        print_figure(f"Figure 9: CLIP at the constrained point "
+                     f"(ch={channels})",
+                     ["prefetcher", "homog", "homog+CLIP", "heterog",
+                      "heterog+CLIP"], rows)
+    return {"homogeneous": homog, "heterogeneous": heterog}
+
+
+def _per_mix_runs(runner: ExperimentRunner,
+                  workloads: Sequence[str]) -> Dict[str, Dict]:
+    """Shared per-mix Berti vs Berti+CLIP runs (Figs. 10, 11, 14-16)."""
+    channels = runner.scale.constrained_channels
+    out: Dict[str, Dict] = {}
+    for workload in workloads:
+        base = runner.run_homogeneous("none", workload, channels)
+        berti = runner.run_homogeneous("berti", workload, channels)
+        clip = runner.run_homogeneous("berti+clip", workload, channels)
+        out[workload] = {
+            "berti_ws": weighted_speedup(berti, base),
+            "clip_ws": weighted_speedup(clip, base),
+            "berti_l1_latency": berti.average_l1_miss_latency(),
+            "clip_l1_latency": clip.average_l1_miss_latency(),
+            "berti_issued": berti.prefetch.issued,
+            "clip_issued": clip.prefetch.issued,
+            "clip": clip.clip,
+        }
+    return out
+
+
+def figure10(runner: Optional[ExperimentRunner] = None,
+             quiet: bool = False,
+             workloads: Optional[Sequence[str]] = None) -> Dict:
+    """Fig. 10: per-mix weighted speedup, Berti vs Berti+CLIP.
+
+    Paper: Berti+CLIP turns a 16% average slowdown into an 8% gain; only
+    3 of 45 mixes still slow down with CLIP (26 without).
+    """
+    runner = _runner(runner)
+    workloads = list(workloads or runner.scale.sample_homogeneous())
+    per_mix = _per_mix_runs(runner, workloads)
+    rows = [[w, per_mix[w]["berti_ws"], per_mix[w]["clip_ws"]]
+            for w in workloads]
+    berti_avg = geometric_mean([per_mix[w]["berti_ws"] for w in workloads])
+    clip_avg = geometric_mean([per_mix[w]["clip_ws"] for w in workloads])
+    rows.append(["geomean", berti_avg, clip_avg])
+    if not quiet:
+        print_figure("Figure 10: per-mix weighted speedup (constrained "
+                     "bandwidth)", ["mix", "Berti", "Berti+CLIP"], rows)
+    return {"per_mix": per_mix, "berti_avg": berti_avg,
+            "clip_avg": clip_avg}
+
+
+def figure11(runner: Optional[ExperimentRunner] = None,
+             quiet: bool = False,
+             workloads: Optional[Sequence[str]] = None) -> Dict:
+    """Fig. 11: per-mix average L1 miss latency (Berti vs Berti+CLIP).
+
+    Paper: average drops from 168 to 132 cycles.
+    """
+    runner = _runner(runner)
+    workloads = list(workloads or runner.scale.sample_homogeneous())
+    per_mix = _per_mix_runs(runner, workloads)
+    rows = [[w, per_mix[w]["berti_l1_latency"],
+             per_mix[w]["clip_l1_latency"]] for w in workloads]
+    berti_avg = arithmetic_mean(
+        [per_mix[w]["berti_l1_latency"] for w in workloads])
+    clip_avg = arithmetic_mean(
+        [per_mix[w]["clip_l1_latency"] for w in workloads])
+    rows.append(["mean", berti_avg, clip_avg])
+    if not quiet:
+        print_figure("Figure 11: average L1 miss latency (cycles)",
+                     ["mix", "Berti", "Berti+CLIP"], rows)
+    return {"per_mix": per_mix, "berti_avg": berti_avg,
+            "clip_avg": clip_avg}
+
+
+def figure12(runner: Optional[ExperimentRunner] = None,
+             quiet: bool = False) -> Dict:
+    """Fig. 12: L1/L2/LLC miss coverage, Berti vs Berti+CLIP.
+
+    Paper: CLIP gives up ~7% coverage at L1 and 2-3% at L2/LLC in exchange
+    for latency.
+    """
+    runner = _runner(runner)
+    workloads = runner.scale.sample_homogeneous()
+    channels = runner.scale.constrained_channels
+    coverage = {"berti": {}, "berti+clip": {}}
+    for scheme in coverage:
+        per_level = {"L1D": [], "L2": [], "LLC": []}
+        for workload in workloads:
+            result = runner.run_homogeneous(scheme, workload, channels)
+            for level in per_level:
+                per_level[level].append(result.levels[level].miss_coverage)
+        coverage[scheme] = {level: arithmetic_mean(values)
+                            for level, values in per_level.items()}
+    if not quiet:
+        rows = [[level, coverage["berti"][level],
+                 coverage["berti+clip"][level]]
+                for level in ["L1D", "L2", "LLC"]]
+        print_figure("Figure 12: miss coverage by level",
+                     ["level", "Berti", "Berti+CLIP"], rows)
+    return coverage
+
+
+def figure13(runner: Optional[ExperimentRunner] = None,
+             quiet: bool = False,
+             workloads: Optional[Sequence[str]] = None,
+             baselines: Sequence[str] = ("fvp", "cbp", "robo")) -> Dict:
+    """Fig. 13: CLIP's critical-load prediction accuracy vs best prior.
+
+    Paper: 93% average for the critical signature vs 41% for the best
+    prior predictor.
+    """
+    runner = _runner(runner)
+    workloads = list(workloads or runner.scale.sample_homogeneous())
+    channels = runner.scale.constrained_channels
+    per_mix: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        clip = runner.run_homogeneous("berti+clip", workload, channels)
+        best_prior = 0.0
+        for name in baselines:
+            result = runner.run_homogeneous("berti", workload, channels,
+                                            criticality=name,
+                                            crit_gate=False)
+            assert result.criticality is not None
+            best_prior = max(best_prior, result.criticality.accuracy)
+        assert clip.clip is not None
+        per_mix[workload] = {
+            "clip_accuracy": clip.clip.prediction_accuracy,
+            "best_prior_accuracy": best_prior,
+        }
+    clip_avg = arithmetic_mean(
+        [m["clip_accuracy"] for m in per_mix.values()])
+    prior_avg = arithmetic_mean(
+        [m["best_prior_accuracy"] for m in per_mix.values()])
+    if not quiet:
+        rows = [[w, per_mix[w]["clip_accuracy"],
+                 per_mix[w]["best_prior_accuracy"]] for w in workloads]
+        rows.append(["mean", clip_avg, prior_avg])
+        print_figure("Figure 13: critical-load prediction accuracy",
+                     ["mix", "critical signature", "best prior"], rows)
+    return {"per_mix": per_mix, "clip_avg": clip_avg,
+            "prior_avg": prior_avg}
+
+
+def figure14(runner: Optional[ExperimentRunner] = None,
+             quiet: bool = False,
+             workloads: Optional[Sequence[str]] = None) -> Dict:
+    """Fig. 14: CLIP's criticality prediction coverage per mix."""
+    runner = _runner(runner)
+    workloads = list(workloads or runner.scale.sample_homogeneous())
+    per_mix = _per_mix_runs(runner, workloads)
+    rows = []
+    coverages = []
+    for workload in workloads:
+        clip_result = per_mix[workload]["clip"]
+        coverages.append(clip_result.prediction_coverage)
+        rows.append([workload, clip_result.prediction_coverage])
+    average = arithmetic_mean(coverages)
+    rows.append(["mean", average])
+    if not quiet:
+        print_figure("Figure 14: criticality prediction coverage",
+                     ["mix", "coverage"], rows)
+    return {"per_mix": {w: c for w, c in zip(workloads, coverages)},
+            "average": average}
+
+
+def figure15(runner: Optional[ExperimentRunner] = None,
+             quiet: bool = False,
+             workloads: Optional[Sequence[str]] = None) -> Dict:
+    """Fig. 15: number of critical IPs, static- vs dynamic-critical.
+
+    Paper: few IPs overall; ~50% are dynamic-critical.
+    """
+    runner = _runner(runner)
+    workloads = list(workloads or runner.scale.sample_homogeneous())
+    per_mix = _per_mix_runs(runner, workloads)
+    rows = []
+    out: Dict[str, Dict[str, int]] = {}
+    for workload in workloads:
+        clip_result = per_mix[workload]["clip"]
+        static = clip_result.static_critical_ips
+        dynamic = clip_result.dynamic_critical_ips
+        out[workload] = {"static": static, "dynamic": dynamic}
+        rows.append([workload, static, dynamic])
+    if not quiet:
+        print_figure("Figure 15: critical IPs per mix",
+                     ["mix", "static-critical", "dynamic-critical"], rows)
+    return out
+
+
+def figure16(runner: Optional[ExperimentRunner] = None,
+             quiet: bool = False,
+             workloads: Optional[Sequence[str]] = None) -> Dict:
+    """Fig. 16: reduction in prefetch requests with CLIP (paper: ~50%)."""
+    runner = _runner(runner)
+    workloads = list(workloads or runner.scale.sample_homogeneous())
+    per_mix = _per_mix_runs(runner, workloads)
+    rows = []
+    reductions = {}
+    for workload in workloads:
+        berti_issued = per_mix[workload]["berti_issued"]
+        clip_issued = per_mix[workload]["clip_issued"]
+        reduction = (1.0 - clip_issued / berti_issued
+                     if berti_issued else 0.0)
+        reductions[workload] = reduction
+        rows.append([workload, berti_issued, clip_issued, reduction])
+    average = arithmetic_mean(list(reductions.values()))
+    rows.append(["mean", "", "", average])
+    if not quiet:
+        print_figure("Figure 16: prefetch traffic reduction with CLIP",
+                     ["mix", "Berti issued", "CLIP issued", "reduction"],
+                     rows)
+    return {"per_mix": reductions, "average": average}
+
+
+# ---------------------------------------------------------------------------
+# Figures 17-21 and sensitivity studies
+# ---------------------------------------------------------------------------
+
+def figure17(runner: Optional[ExperimentRunner] = None,
+             quiet: bool = False) -> Dict:
+    """Fig. 17: CloudSuite + CVP workloads vs channels.
+
+    Paper: prefetchers gain little on these traces (<10% even
+    unconstrained), so CLIP's effect is small too.
+    """
+    runner = _runner(runner)
+    workloads = runner.cloud_workloads()
+    channels = list(runner.scale.channel_sweep[:4])
+    series: Dict[str, List[float]] = {"berti": [], "berti+clip": []}
+    for ch in channels:
+        for scheme in series:
+            series[scheme].append(geometric_mean(
+                _homog_speedups(runner, scheme, ch, workloads)))
+    if not quiet:
+        rows = [[s] + series[s] for s in series]
+        print_figure("Figure 17: CloudSuite + CVP homogeneous workloads",
+                     ["scheme"] + [f"ch={c}" for c in channels], rows)
+    return {"channels": channels, "series": series}
+
+
+def figure18(runner: Optional[ExperimentRunner] = None,
+             quiet: bool = False) -> Dict:
+    """Fig. 18: sensitivity to CLIP table sizes (0.25x - 4x).
+
+    Paper: 2x/4x marginal gains; 0.5x/0.25x lose >7%.
+    """
+    runner = _runner(runner)
+    workloads = runner.scale.sample_homogeneous()
+    channels = runner.scale.constrained_channels
+    factors = [0.25, 0.5, 1.0, 2.0, 4.0]
+    tables = {"filter": {}, "predictor": {}}
+    reference = geometric_mean(_homog_speedups(
+        runner, "berti+clip", channels, workloads))
+    for factor in factors:
+        for which in tables:
+            if factor == 1.0:
+                tables[which][factor] = 1.0
+                continue
+            # Scale one table, keep the other at baseline (paper method).
+            override = ("clip_filter_scale" if which == "filter"
+                        else "clip_predictor_scale")
+            value = geometric_mean(_homog_speedups(
+                runner, "berti", channels, workloads,
+                **{override: factor}))
+            tables[which][factor] = value / reference if reference else 0.0
+    if not quiet:
+        rows = [[which] + [tables[which][f] for f in factors]
+                for which in tables]
+        print_figure("Figure 18: CLIP table-size sensitivity (relative "
+                     "to 1x)", ["table"] + [f"{f}x" for f in factors], rows)
+    return {"factors": factors, "tables": tables,
+            "reference_ws": reference}
+
+
+def figure19(runner: Optional[ExperimentRunner] = None,
+             quiet: bool = False) -> Dict:
+    """Fig. 19: CLIP with all prefetchers across channels (homogeneous)."""
+    runner = _runner(runner)
+    workloads = runner.scale.sample_homogeneous()
+    channels = list(runner.scale.channel_sweep[:3])
+    series: Dict[str, List[float]] = {}
+    for scheme in PREFETCHER_SCHEMES:
+        for variant in (scheme, scheme + "+clip"):
+            series[variant] = [
+                geometric_mean(_homog_speedups(runner, variant, ch,
+                                               workloads))
+                for ch in channels
+            ]
+    if not quiet:
+        rows = [[s] + series[s] for s in series]
+        print_figure("Figure 19: CLIP vs channels (homogeneous)",
+                     ["scheme"] + [f"ch={c}" for c in channels], rows)
+    return {"channels": channels, "series": series}
+
+
+def figure20(runner: Optional[ExperimentRunner] = None,
+             quiet: bool = False) -> Dict:
+    """Fig. 20: CLIP with all prefetchers across channels (heterogeneous)."""
+    runner = _runner(runner)
+    mixes = runner.heterogeneous()
+    channels = list(runner.scale.channel_sweep[:3])
+    series: Dict[str, List[float]] = {}
+    for scheme in PREFETCHER_SCHEMES:
+        for variant in (scheme, scheme + "+clip"):
+            series[variant] = [
+                geometric_mean(_hetero_speedups(runner, variant, ch, mixes))
+                for ch in channels
+            ]
+    if not quiet:
+        rows = [[s] + series[s] for s in series]
+        print_figure("Figure 20: CLIP vs channels (heterogeneous)",
+                     ["scheme"] + [f"ch={c}" for c in channels], rows)
+    return {"channels": channels, "series": series}
+
+
+def figure21(runner: Optional[ExperimentRunner] = None,
+             quiet: bool = False) -> Dict:
+    """Fig. 21: Hermes and DSPatch vs CLIP with Berti.
+
+    Paper shape: CLIP wins at 4-8 channels; Hermes overtakes at 16;
+    DSPatch trails CLIP under constrained bandwidth.
+    """
+    runner = _runner(runner)
+    workloads = runner.scale.sample_homogeneous()
+    hetero = runner.heterogeneous()
+    channels = list(runner.scale.channel_sweep[:3])
+    schemes = ["berti", "berti+hermes", "berti+dspatch", "berti+clip"]
+    homog: Dict[str, List[float]] = {}
+    heterog: Dict[str, List[float]] = {}
+    for scheme in schemes:
+        homog[scheme] = [
+            geometric_mean(_homog_speedups(runner, scheme, ch, workloads))
+            for ch in channels
+        ]
+        heterog[scheme] = [
+            geometric_mean(_hetero_speedups(runner, scheme, ch, hetero))
+            for ch in channels
+        ]
+    if not quiet:
+        print_figure("Figure 21a: Hermes / DSPatch / CLIP (homogeneous)",
+                     ["scheme"] + [f"ch={c}" for c in channels],
+                     [[s] + homog[s] for s in schemes])
+        print_figure("Figure 21b: Hermes / DSPatch / CLIP (heterogeneous)",
+                     ["scheme"] + [f"ch={c}" for c in channels],
+                     [[s] + heterog[s] for s in schemes])
+    return {"channels": channels, "homogeneous": homog,
+            "heterogeneous": heterog}
+
+
+# ---------------------------------------------------------------------------
+# Tables and auxiliary studies
+# ---------------------------------------------------------------------------
+
+def table2(quiet: bool = False) -> Dict:
+    """Table 2: CLIP storage overhead (paper total: 1.56 KB/core)."""
+    rows = storage_table()
+    total_kib = storage_overhead()
+    if not quiet:
+        print_figure("Table 2: CLIP storage overhead",
+                     ["structure", "bytes"],
+                     [[r.structure, r.bytes] for r in rows]
+                     + [["total (KB)", total_kib * 1024 / 1000]])
+    return {"rows": {r.structure: r.bytes for r in rows},
+            "total_kib": total_kib,
+            "total_kb": total_kib * 1024 / 1000}
+
+
+def table3(quiet: bool = False) -> Dict:
+    """Table 3: the baseline system configuration (full scale)."""
+    config = SystemConfig()
+    entries = {
+        "cores": config.num_cores,
+        "rob_entries": config.core.rob_entries,
+        "issue_width": config.core.issue_width,
+        "retire_width": config.core.retire_width,
+        "l1d_kib": config.l1d.size_kib,
+        "l1d_ways": config.l1d.ways,
+        "l2_kib": config.l2.size_kib,
+        "llc_slice_kib": config.llc_slice.size_kib,
+        "llc_replacement": config.llc_slice.replacement,
+        "dram_channels": config.dram.channels,
+        "mesh_dim": config.mesh_dim,
+        "noc_virtual_channels": config.noc.virtual_channels,
+        "dram_trp_cycles": config.dram.trp_cycles,
+        "write_watermark": config.dram.write_watermark,
+    }
+    if not quiet:
+        print_figure("Table 3: baseline system parameters",
+                     ["parameter", "value"], list(entries.items()))
+    return entries
+
+
+def energy_study(runner: Optional[ExperimentRunner] = None,
+                 quiet: bool = False) -> Dict:
+    """Section 5.1 energy claim: CLIP cuts dynamic memory-hierarchy energy
+    (paper: -18.21% for homogeneous mixes)."""
+    runner = _runner(runner)
+    workloads = runner.scale.sample_homogeneous()
+    channels = runner.scale.constrained_channels
+    totals = {"berti": [], "berti+clip": []}
+    for workload in workloads:
+        for scheme in totals:
+            result = runner.run_homogeneous(scheme, workload, channels)
+            clip_events = (result.levels["L1D"].demand_accesses
+                           if scheme.endswith("clip") else 0)
+            totals[scheme].append(
+                dynamic_energy(result, clip_events=clip_events).total_mj)
+    berti_mj = arithmetic_mean(totals["berti"])
+    clip_mj = arithmetic_mean(totals["berti+clip"])
+    saving = 1.0 - clip_mj / berti_mj if berti_mj else 0.0
+    if not quiet:
+        print_figure("Energy: dynamic memory-hierarchy energy",
+                     ["scheme", "mJ (mean/mix)"],
+                     [["berti", berti_mj], ["berti+clip", clip_mj],
+                      ["saving", saving]])
+    return {"berti_mj": berti_mj, "clip_mj": clip_mj, "saving": saving}
+
+
+def llc_sensitivity(runner: Optional[ExperimentRunner] = None,
+                    quiet: bool = False) -> Dict:
+    """Section 5.2 LLC-size sweep: CLIP's edge grows as the LLC shrinks."""
+    runner = _runner(runner)
+    workloads = runner.scale.sample_homogeneous()
+    channels = runner.scale.constrained_channels
+    # Scaled stand-ins for the paper's 512 KB / 2 MB / 4 MB per core.
+    sizes_kib = [64, 128, 256]
+    out: Dict[int, Dict[str, float]] = {}
+    for size in sizes_kib:
+        out[size] = {
+            "berti": geometric_mean(_homog_speedups(
+                runner, "berti", channels, workloads, llc_kib=size)),
+            "berti+clip": geometric_mean(_homog_speedups(
+                runner, "berti+clip", channels, workloads, llc_kib=size)),
+        }
+    if not quiet:
+        rows = [[size, out[size]["berti"], out[size]["berti+clip"]]
+                for size in sizes_kib]
+        print_figure("LLC sensitivity (scaled slice KiB)",
+                     ["llc_kib", "Berti", "Berti+CLIP"], rows)
+    return out
+
+
+def core_count_sensitivity(runner: Optional[ExperimentRunner] = None,
+                           quiet: bool = False) -> Dict:
+    """Section 5.2 core-count sweep: CLIP matters while there is less than
+    one channel per 2-4 cores."""
+    runner = _runner(runner)
+    workloads = runner.scale.sample_homogeneous()[:4]
+    grid = [(4, 1), (8, 1), (8, 2), (16, 2)]
+    out: Dict[str, Dict[str, float]] = {}
+    for cores, channels in grid:
+        key = f"{cores}c/{channels}ch"
+        out[key] = {
+            "berti": geometric_mean(_homog_speedups(
+                runner, "berti", channels, workloads, num_cores=cores)),
+            "berti+clip": geometric_mean(_homog_speedups(
+                runner, "berti+clip", channels, workloads,
+                num_cores=cores)),
+        }
+    if not quiet:
+        rows = [[key, out[key]["berti"], out[key]["berti+clip"]]
+                for key in out]
+        print_figure("Core-count sensitivity",
+                     ["config", "Berti", "Berti+CLIP"], rows)
+    return out
+
+
+def all_spec_workloads() -> List[str]:
+    """The full 45-mix list for full-scale per-mix figures."""
+    return list(SPEC_HOMOGENEOUS_MIXES)
+
+
+def ablation_study(runner: Optional[ExperimentRunner] = None,
+                   quiet: bool = False) -> Dict:
+    """Ablation of CLIP's design choices (paper section 4.2 and 5.1).
+
+    Variants, all measured as weighted speedup at the constrained point:
+
+    * ``full``            -- CLIP as proposed;
+    * ``no-accuracy``     -- stage I only (paper: accuracy filtering
+      contributes the smaller share of the benefit);
+    * ``no-criticality``  -- stage II only;
+    * ``no-priority``     -- no criticality-conscious NoC/DRAM (paper:
+      priority contributes just 2.8% of the 24%);
+    * ``ip-only-signature``   -- drop address+histories from the signature;
+    * ``no-branch-history``   -- drop only the branch history;
+    * ``threshold-1``         -- criticality count threshold of 1 (vs 4).
+    """
+    runner = _runner(runner)
+    workloads = runner.scale.sample_homogeneous()
+    channels = runner.scale.constrained_channels
+    variants = {
+        "full": {},
+        "no-accuracy": {"use_accuracy_filter": False},
+        "no-criticality": {"use_criticality_filter": False},
+        "no-priority": {"criticality_conscious_noc_dram": False},
+        "ip-only-signature": {"signature_use_address": False,
+                              "signature_use_branch_history": False,
+                              "signature_use_criticality_history": False},
+        "no-branch-history": {"signature_use_branch_history": False},
+        "threshold-1": {"criticality_count_threshold": 1},
+    }
+    berti = geometric_mean(_homog_speedups(runner, "berti", channels,
+                                           workloads))
+    out: Dict[str, float] = {"berti (no CLIP)": berti}
+    for name, fields in variants.items():
+        if fields:
+            # "berti" + clip_overrides enables CLIP with modified knobs.
+            out[name] = geometric_mean(_homog_speedups(
+                runner, "berti", channels, workloads,
+                clip_overrides=fields))
+        else:
+            out[name] = geometric_mean(_homog_speedups(
+                runner, "berti+clip", channels, workloads))
+    if not quiet:
+        print_figure("Ablation: CLIP design choices (weighted speedup at "
+                     "the constrained point)",
+                     ["variant", "weighted speedup"],
+                     [[k, v] for k, v in out.items()])
+    return out

@@ -1,0 +1,191 @@
+"""Shared experiment runner with result caching.
+
+Most figures compare several schemes against the *same* no-prefetching
+baseline on the *same* workload mixes, so the runner memoises simulation
+results by (scheme, mix, scale) within the process; a full figure sweep
+reuses every baseline run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SystemConfig, scaled_config
+from repro.sim.stats import SimulationResult, weighted_speedup
+from repro.sim.system import run_system
+from repro.trace.mixes import heterogeneous_mixes, homogeneous_mix
+from repro.trace.workloads import (CLOUDSUITE_WORKLOADS, CVP_WORKLOADS,
+                                   SPEC_HOMOGENEOUS_MIXES)
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """How far the experiments are scaled down from the paper's setup.
+
+    The paper simulates 64 cores with {4..64} DDR4 channels for 200M
+    instructions per core.  The default benchmark scale runs 8 cores, so
+    one scaled channel carries the paper's 8-cores-per-channel pressure
+    (the constrained operating point), and 16 channels the paper's
+    unconstrained one.
+    """
+
+    num_cores: int = 8
+    sim_instructions: int = 10_000
+    #: Scaled channel counts standing in for the paper's {4, 8, 16, 32, 64}.
+    channel_sweep: Tuple[int, ...] = (1, 2, 4, 8, 16)
+    #: The paper's 8-channel headline operating point, scaled.
+    constrained_channels: int = 1
+    #: Number of homogeneous mixes sampled for averaged figures.
+    homogeneous_sample: int = 9
+    #: Number of heterogeneous mixes (paper: 200).
+    heterogeneous_mixes: int = 6
+
+    def sample_homogeneous(self) -> List[str]:
+        step = max(1, len(SPEC_HOMOGENEOUS_MIXES) // self.homogeneous_sample)
+        return SPEC_HOMOGENEOUS_MIXES[::step][:self.homogeneous_sample]
+
+
+#: Scheme name -> config mutations understood by :meth:`ExperimentRunner`.
+SCHEMES = {
+    "none": {},
+    "berti": {"l1": "berti"},
+    "ipcp": {"l1": "ipcp"},
+    "bingo": {"l2": "bingo"},
+    "spp_ppf": {"l2": "spp_ppf"},
+    "stride": {"l1": "stride"},
+    "streamer": {"l1": "streamer"},
+    "berti+clip": {"l1": "berti", "clip": True},
+    "ipcp+clip": {"l1": "ipcp", "clip": True},
+    "bingo+clip": {"l2": "bingo", "clip": True},
+    "spp_ppf+clip": {"l2": "spp_ppf", "clip": True},
+    "berti+hermes": {"l1": "berti", "hermes": True},
+    "berti+dspatch": {"l1": "berti", "dspatch": True},
+}
+
+
+class ExperimentRunner:
+    """Builds configs from scheme names and memoises simulation results."""
+
+    def __init__(self, scale: Optional[BenchScale] = None) -> None:
+        self.scale = scale or BenchScale()
+        self._cache: Dict[Tuple, SimulationResult] = {}
+        self.runs = 0
+
+    # ------------------------------------------------------------------
+
+    def config_for(self, scheme: str, channels: int,
+                   **overrides) -> SystemConfig:
+        try:
+            recipe = dict(SCHEMES[scheme])
+        except KeyError:
+            raise ValueError(f"unknown scheme {scheme!r}; "
+                             f"choose from {sorted(SCHEMES)}") from None
+        recipe.update(overrides)
+        config = scaled_config(
+            num_cores=recipe.pop("num_cores", self.scale.num_cores),
+            channels=channels,
+            sim_instructions=recipe.pop("sim_instructions",
+                                        self.scale.sim_instructions))
+        if "l1" in recipe:
+            config.l1_prefetcher = dataclasses.replace(
+                config.l1_prefetcher, name=recipe.pop("l1"))
+        else:
+            config.l1_prefetcher = dataclasses.replace(
+                config.l1_prefetcher, name="none")
+        if "l2" in recipe:
+            config.l2_prefetcher = dataclasses.replace(
+                config.l2_prefetcher, name=recipe.pop("l2"))
+        if recipe.pop("clip", False):
+            config.clip = dataclasses.replace(config.clip, enabled=True)
+        if "criticality" in recipe:
+            config.criticality.name = recipe.pop("criticality")
+        if "crit_gate" in recipe:
+            config.criticality.gate = recipe.pop("crit_gate")
+        if "throttle" in recipe:
+            config.throttle.name = recipe.pop("throttle")
+        if recipe.pop("hermes", False):
+            config.related = dataclasses.replace(config.related, hermes=True)
+        if recipe.pop("dspatch", False):
+            config.related = dataclasses.replace(config.related,
+                                                 dspatch=True)
+        if "clip_filter_scale" in recipe:
+            factor = recipe.pop("clip_filter_scale")
+            config.clip = dataclasses.replace(
+                config.clip, enabled=True,
+                filter_sets=max(1, int(config.clip.filter_sets * factor)))
+        if "clip_predictor_scale" in recipe:
+            factor = recipe.pop("clip_predictor_scale")
+            config.clip = dataclasses.replace(
+                config.clip, enabled=True,
+                predictor_sets=max(1, int(config.clip.predictor_sets
+                                          * factor)))
+        if "clip_overrides" in recipe:
+            fields = dict(recipe.pop("clip_overrides"))
+            config.clip = dataclasses.replace(config.clip, enabled=True,
+                                              **fields)
+        if "llc_kib" in recipe:
+            config.llc_slice = dataclasses.replace(
+                config.llc_slice, size_kib=recipe.pop("llc_kib"))
+        if recipe:
+            raise ValueError(f"unused overrides: {sorted(recipe)}")
+        return config
+
+    # ------------------------------------------------------------------
+
+    def run_mix(self, scheme: str, mix: Sequence[str], channels: int,
+                **overrides) -> SimulationResult:
+        key = (scheme, tuple(mix), channels,
+               tuple(sorted((k, repr(v)) for k, v in overrides.items())),
+               self.scale)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        config = self.config_for(scheme, channels, **overrides)
+        if len(mix) != config.num_cores:
+            raise ValueError("mix length does not match core count")
+        result = run_system(config, list(mix), label=scheme)
+        self._cache[key] = result
+        self.runs += 1
+        return result
+
+    def run_homogeneous(self, scheme: str, workload: str, channels: int,
+                        **overrides) -> SimulationResult:
+        cores = overrides.get("num_cores", self.scale.num_cores)
+        return self.run_mix(scheme, homogeneous_mix(workload, cores),
+                            channels, **overrides)
+
+    # ------------------------------------------------------------------
+
+    def speedup_homogeneous(self, scheme: str, workload: str,
+                            channels: int, **overrides) -> float:
+        """Weighted speedup vs no-prefetching at the same channel count."""
+        baseline = self.run_homogeneous("none", workload, channels,
+                                        **_baseline_overrides(overrides))
+        result = self.run_homogeneous(scheme, workload, channels,
+                                      **overrides)
+        return weighted_speedup(result, baseline)
+
+    def speedup_mix(self, scheme: str, mix: Sequence[str], channels: int,
+                    **overrides) -> float:
+        baseline = self.run_mix("none", mix, channels,
+                                **_baseline_overrides(overrides))
+        result = self.run_mix(scheme, mix, channels, **overrides)
+        return weighted_speedup(result, baseline)
+
+    # ------------------------------------------------------------------
+
+    def heterogeneous(self, count: Optional[int] = None) -> List[List[str]]:
+        return heterogeneous_mixes(count or self.scale.heterogeneous_mixes,
+                                   self.scale.num_cores)
+
+    def cloud_workloads(self) -> List[str]:
+        return CLOUDSUITE_WORKLOADS + CVP_WORKLOADS
+
+
+def _baseline_overrides(overrides: Dict) -> Dict:
+    """Overrides that must also apply to the no-prefetching baseline
+    (structural knobs like core count or LLC size, not scheme knobs)."""
+    keep = {"num_cores", "sim_instructions", "llc_kib"}
+    return {k: v for k, v in overrides.items() if k in keep}

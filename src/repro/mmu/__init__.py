@@ -1,0 +1,5 @@
+"""Address-translation substrate: TLBs and page-walk latency."""
+
+from repro.mmu.tlb import Mmu, Tlb, TlbStats
+
+__all__ = ["Mmu", "Tlb", "TlbStats"]

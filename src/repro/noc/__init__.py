@@ -1,0 +1,5 @@
+"""Network-on-chip substrate: mesh topology and priority-aware link timing."""
+
+from repro.noc.mesh import MeshNoc, NocStats
+
+__all__ = ["MeshNoc", "NocStats"]

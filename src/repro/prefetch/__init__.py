@@ -1,0 +1,20 @@
+"""Hardware data prefetchers.
+
+Implements the four state-of-the-art prefetchers the paper evaluates
+(Berti, IPCP, SPP-PPF, Bingo) plus the classic IP-stride and stream
+prefetchers the throttling literature targets.
+"""
+
+from repro.prefetch.base import Prefetcher, PrefetchRequest, make_prefetcher
+from repro.prefetch.berti import BertiPrefetcher
+from repro.prefetch.ipcp import IpcpPrefetcher
+from repro.prefetch.spp_ppf import SppPpfPrefetcher
+from repro.prefetch.bingo import BingoPrefetcher
+from repro.prefetch.stride import IpStridePrefetcher
+from repro.prefetch.streamer import StreamPrefetcher
+
+__all__ = [
+    "Prefetcher", "PrefetchRequest", "make_prefetcher",
+    "BertiPrefetcher", "IpcpPrefetcher", "SppPpfPrefetcher",
+    "BingoPrefetcher", "IpStridePrefetcher", "StreamPrefetcher",
+]

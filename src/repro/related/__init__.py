@@ -1,0 +1,6 @@
+"""Related-work comparators: Hermes and DSPatch (paper section 5.3)."""
+
+from repro.related.hermes import HermesPredictor
+from repro.related.dspatch import DspatchModulator
+
+__all__ = ["HermesPredictor", "DspatchModulator"]

@@ -1,0 +1,8 @@
+"""Simulation glue: the event engine, the system builder, stats, metrics."""
+
+from repro.sim.engine import Engine
+from repro.sim.stats import SimulationResult, weighted_speedup
+from repro.sim.system import MulticoreSystem, run_system
+
+__all__ = ["Engine", "MulticoreSystem", "run_system", "SimulationResult",
+           "weighted_speedup"]

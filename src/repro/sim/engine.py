@@ -1,0 +1,87 @@
+"""Discrete-event / cycle-hybrid simulation engine.
+
+Cores are cycle-stepped components exposing ``tick(cycle)`` and a
+``next_wake`` estimate; everything in the memory system is event-driven.
+Each iteration the engine jumps straight to the earliest interesting cycle
+(the next event or the next core wake), drains that cycle's events, then
+ticks every core due at that cycle.  Skipping the dead cycles in which all
+cores wait on memory is what makes a pure-Python many-core simulation
+tractable (DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Protocol, Tuple
+
+
+class Tickable(Protocol):
+    """A cycle-stepped component (a core)."""
+
+    next_wake: float
+    done: bool
+
+    def tick(self, cycle: int) -> None: ...
+
+
+class Engine:
+    """Event heap plus the skip-ahead main loop."""
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._events: List[Tuple[int, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self.events_processed = 0
+
+    def schedule(self, cycle: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at ``cycle`` (>= now)."""
+        if cycle < self.now:
+            raise ValueError(
+                f"cannot schedule at {cycle}, now is {self.now}")
+        heapq.heappush(self._events, (cycle, self._sequence, callback))
+        self._sequence += 1
+
+    def _drain_events_at(self, cycle: int) -> None:
+        events = self._events
+        while events and events[0][0] <= cycle:
+            _, _, callback = heapq.heappop(events)
+            self.events_processed += 1
+            callback()
+
+    def run(self, cores: List[Tickable],
+            max_cycles: int = 1_000_000_000) -> int:
+        """Run until every core is done; returns the final cycle.
+
+        After the last core retires, remaining memory events (in-flight
+        prefetches, writebacks) are drained so the hardware ends quiescent
+        and statistics are complete.
+        """
+        while True:
+            active = [core for core in cores if not core.done]
+            if not active:
+                finish = self.now
+                while self._events:
+                    self.now = max(self.now, self._events[0][0])
+                    self._drain_events_at(self.now)
+                self.now = finish
+                return finish
+            next_cycle = float("inf")
+            if self._events:
+                next_cycle = self._events[0][0]
+            for core in active:
+                if core.next_wake < next_cycle:
+                    next_cycle = core.next_wake
+            if next_cycle == float("inf"):
+                raise RuntimeError(
+                    "deadlock: no pending events and no core can progress "
+                    f"(cycle {self.now}, "
+                    f"{sum(1 for c in cores if not c.done)} cores active)")
+            cycle = max(self.now, int(next_cycle))
+            if cycle > max_cycles:
+                raise RuntimeError(
+                    f"exceeded max_cycles={max_cycles}; likely livelock")
+            self.now = cycle
+            self._drain_events_at(cycle)
+            for core in active:
+                if not core.done and core.next_wake <= cycle:
+                    core.tick(cycle)

@@ -1,0 +1,80 @@
+"""Derived metrics and scheme comparison helpers.
+
+Thin, well-named arithmetic over :class:`SimulationResult` so analysis
+scripts and examples do not re-derive MPKI/IPC/speedup by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from repro.sim.stats import SimulationResult, weighted_speedup
+
+
+def aggregate_ipc(result: SimulationResult) -> float:
+    """Sum of per-core IPCs (system throughput proxy)."""
+    return sum(result.ipc_per_core)
+
+
+def harmonic_mean_ipc(result: SimulationResult) -> float:
+    """Harmonic-mean IPC (fairness-sensitive average)."""
+    ipcs = [ipc for ipc in result.ipc_per_core if ipc > 0]
+    if not ipcs:
+        return 0.0
+    return len(ipcs) / sum(1.0 / ipc for ipc in ipcs)
+
+
+def mpki(result: SimulationResult, level: str = "L1D") -> float:
+    """Demand misses per kilo-instruction at ``level``."""
+    instructions = result.total_instructions
+    if not instructions:
+        return 0.0
+    try:
+        misses = result.levels[level].demand_misses
+    except KeyError:
+        raise ValueError(f"unknown cache level {level!r}; "
+                         f"choose from {sorted(result.levels)}") from None
+    return 1000.0 * misses / instructions
+
+
+def prefetch_traffic_share(result: SimulationResult) -> float:
+    """Fraction of DRAM reads that were prefetches."""
+    if not result.dram.reads:
+        return 0.0
+    return result.dram.prefetch_reads / result.dram.reads
+
+
+def summarize(result: SimulationResult) -> Dict[str, float]:
+    """One flat dictionary of the headline quantities."""
+    return {
+        "aggregate_ipc": aggregate_ipc(result),
+        "harmonic_mean_ipc": harmonic_mean_ipc(result),
+        "l1_mpki": mpki(result, "L1D"),
+        "llc_mpki": mpki(result, "LLC"),
+        "l1_miss_latency": result.average_l1_miss_latency(),
+        "dram_utilization": result.dram.utilization,
+        "prefetch_issued": float(result.prefetch.issued),
+        "prefetch_accuracy": result.prefetch.accuracy,
+        "prefetch_lateness": result.prefetch.lateness,
+        "prefetch_traffic_share": prefetch_traffic_share(result),
+        "branch_accuracy": result.branch_accuracy,
+    }
+
+
+def compare_schemes(results: Mapping[str, SimulationResult],
+                    baseline: str = "none") -> List[Dict[str, float]]:
+    """Rows of headline metrics + weighted speedup against ``baseline``.
+
+    Returns one row per scheme, ordered as given, each a ``summarize``
+    dictionary extended with ``scheme`` and ``weighted_speedup``.
+    """
+    if baseline not in results:
+        raise ValueError(f"baseline scheme {baseline!r} not in results")
+    reference = results[baseline]
+    rows = []
+    for scheme, result in results.items():
+        row: Dict[str, object] = {"scheme": scheme}
+        row.update(summarize(result))
+        row["weighted_speedup"] = weighted_speedup(result, reference)
+        rows.append(row)
+    return rows

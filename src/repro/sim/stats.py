@@ -1,0 +1,186 @@
+"""Result containers and the paper's headline metric (weighted speedup).
+
+Weighted speedup (section 5, citing Snavely & Tullsen): the sum over cores
+of IPC under the evaluated scheme divided by IPC under the reference
+scheme, here always no-prefetching with the same DRAM channel count --
+"system throughput", in the paper's words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class CoreResult:
+    """Retirement-side outcome of one core."""
+
+    core_id: int
+    workload: str
+    instructions: int
+    cycles: int
+    loads: int
+    stores: int
+    branches: int
+    mispredicts: int
+    head_stall_cycles: int
+    head_stall_cycles_miss: int
+    critical_load_instances: int
+    load_instances_beyond_l1: int
+
+    @property
+    def ipc(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return self.instructions / self.cycles
+
+
+@dataclass
+class LevelStats:
+    """Aggregate demand/prefetch behaviour of one cache level."""
+
+    name: str
+    demand_accesses: int = 0
+    demand_hits: int = 0
+    demand_misses: int = 0
+    prefetch_fills: int = 0
+    useful_prefetches: int = 0
+    useless_evictions: int = 0
+    #: Sum/count of demand latencies for loads serviced *beyond* this level.
+    miss_latency_sum: int = 0
+    miss_latency_count: int = 0
+
+    @property
+    def average_miss_latency(self) -> float:
+        if not self.miss_latency_count:
+            return 0.0
+        return self.miss_latency_sum / self.miss_latency_count
+
+    @property
+    def miss_coverage(self) -> float:
+        """Fraction of would-be misses covered by prefetching."""
+        covered = self.useful_prefetches
+        total = covered + self.demand_misses
+        if not total:
+            return 0.0
+        return covered / total
+
+
+@dataclass
+class PrefetchStats:
+    """System-wide prefetch accounting."""
+
+    candidates: int = 0
+    issued: int = 0
+    dropped_filter: int = 0
+    dropped_duplicate: int = 0
+    dropped_mshr: int = 0
+    useful: int = 0
+    late: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        if not self.issued:
+            return 0.0
+        return min(1.0, self.useful / self.issued)
+
+    @property
+    def lateness(self) -> float:
+        if not self.useful:
+            return 0.0
+        return min(1.0, self.late / self.useful)
+
+    @property
+    def traffic_reduction(self) -> float:
+        """1 - issued/candidates: the Fig. 16 quantity."""
+        if not self.candidates:
+            return 0.0
+        return 1.0 - self.issued / self.candidates
+
+
+@dataclass
+class ClipResult:
+    """Aggregated CLIP statistics across cores."""
+
+    prediction_accuracy: float = 0.0
+    prediction_coverage: float = 0.0
+    prefetches_seen: int = 0
+    prefetches_allowed: int = 0
+    static_critical_ips: int = 0
+    dynamic_critical_ips: int = 0
+    windows: int = 0
+    phase_changes: int = 0
+
+
+@dataclass
+class CriticalityResult:
+    """Baseline criticality predictor measurement (Fig. 4)."""
+
+    name: str = "none"
+    accuracy: float = 0.0
+    coverage: float = 0.0
+
+
+@dataclass
+class DramResult:
+    reads: int = 0
+    writes: int = 0
+    prefetch_reads: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    average_read_latency: float = 0.0
+    utilization: float = 0.0
+
+
+@dataclass
+class NocResult:
+    packets: int = 0
+    flits: int = 0
+    average_latency: float = 0.0
+
+
+@dataclass
+class SimulationResult:
+    """Everything one multi-core simulation produced."""
+
+    config_label: str
+    cores: List[CoreResult] = field(default_factory=list)
+    levels: Dict[str, LevelStats] = field(default_factory=dict)
+    prefetch: PrefetchStats = field(default_factory=PrefetchStats)
+    clip: Optional[ClipResult] = None
+    criticality: Optional[CriticalityResult] = None
+    dram: DramResult = field(default_factory=DramResult)
+    noc: NocResult = field(default_factory=NocResult)
+    total_cycles: int = 0
+    branch_accuracy: float = 1.0
+
+    @property
+    def ipc_per_core(self) -> List[float]:
+        return [core.ipc for core in self.cores]
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(core.instructions for core in self.cores)
+
+    def average_l1_miss_latency(self) -> float:
+        level = self.levels.get("L1D")
+        return level.average_miss_latency if level else 0.0
+
+
+def weighted_speedup(result: SimulationResult,
+                     baseline: SimulationResult) -> float:
+    """Weighted speedup of ``result`` over ``baseline`` (same channels).
+
+    Normalised so a system identical to the baseline scores 1.0.
+    """
+    if len(result.cores) != len(baseline.cores):
+        raise ValueError("core counts differ between result and baseline")
+    if not result.cores:
+        raise ValueError("empty results")
+    total = 0.0
+    for mine, theirs in zip(result.cores, baseline.cores):
+        if theirs.ipc <= 0:
+            raise ValueError(f"baseline core {theirs.core_id} has zero IPC")
+        total += mine.ipc / theirs.ipc
+    return total / len(result.cores)

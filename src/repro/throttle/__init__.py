@@ -1,0 +1,39 @@
+"""Prefetch throttlers (paper section 3, Fig. 6).
+
+Feedback controllers that scale a prefetcher's aggressiveness per epoch.
+They act at coarse granularity on epoch-level accuracy/bandwidth metrics,
+which is exactly why the paper finds them ineffective on already-accurate
+prefetchers like Berti.
+"""
+
+from repro.throttle.base import Throttler, ThrottleSnapshot
+from repro.throttle.fdp import FdpThrottler
+from repro.throttle.hpac import HpacThrottler
+from repro.throttle.spac import SpacThrottler
+from repro.throttle.nst import NstThrottler
+
+_FACTORIES = {
+    "fdp": FdpThrottler,
+    "hpac": HpacThrottler,
+    "spac": SpacThrottler,
+    "nst": NstThrottler,
+}
+
+
+def make_throttler(name: str) -> Throttler:
+    """Instantiate a throttler by configuration name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(f"unknown throttler {name!r}; "
+                         f"choose from {sorted(_FACTORIES)}") from None
+    return factory()
+
+
+def throttler_names() -> list:
+    return sorted(_FACTORIES)
+
+
+__all__ = ["Throttler", "ThrottleSnapshot", "FdpThrottler", "HpacThrottler",
+           "SpacThrottler", "NstThrottler", "make_throttler",
+           "throttler_names"]

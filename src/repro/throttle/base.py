@@ -1,0 +1,50 @@
+"""Throttler interface and the epoch snapshot they consume."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ThrottleSnapshot:
+    """Epoch-level feedback metrics for one core's prefetchers."""
+
+    #: Useful / issued prefetches this epoch (0 if none issued).
+    accuracy: float
+    #: Late (demand-merged in flight) / useful prefetches this epoch.
+    lateness: float
+    #: Useless prefetched lines evicted / issued prefetches this epoch.
+    pollution: float
+    #: Mean DRAM data-bus utilisation over the epoch, 0..1.
+    dram_utilization: float
+    #: L1D + L2 MSHR occupancy fraction at epoch end, 0..1.
+    mshr_occupancy: float
+    #: Prefetches issued this epoch.
+    issued: int
+
+
+#: Aggressiveness ladder shared by the counter-based throttlers: the index
+#: is the aggressiveness level, the value the degree scale factor.
+AGGRESSIVENESS_SCALES = (0.0, 0.25, 0.5, 1.0, 2.0)
+
+
+class Throttler:
+    """Base class: a per-core controller mapping snapshots to a scale."""
+
+    name = "none"
+
+    def __init__(self) -> None:
+        #: Aggressiveness level indexing ``AGGRESSIVENESS_SCALES``.
+        self.level = 3
+        self.decisions = 0
+
+    def decide(self, snapshot: ThrottleSnapshot) -> float:
+        """Consume one epoch snapshot; return the new degree scale."""
+        raise NotImplementedError
+
+    def _clamp_level(self) -> None:
+        self.level = max(0, min(len(AGGRESSIVENESS_SCALES) - 1, self.level))
+
+    @property
+    def scale(self) -> float:
+        return AGGRESSIVENESS_SCALES[self.level]

@@ -1,0 +1,45 @@
+"""FDP: Feedback Directed Prefetching (HPCA 2007).
+
+The canonical throttler: classifies epoch accuracy into high/medium/low and
+lateness into late/not-late, then walks an aggressiveness counter up or
+down.  Designed for ~60%-accurate stride/stream prefetchers; on Berti the
+accuracy signal almost always reads "high", so FDP rarely intervenes --
+the marginal-utility observation of section 3.
+"""
+
+from __future__ import annotations
+
+from repro.throttle.base import Throttler, ThrottleSnapshot
+
+
+class FdpThrottler(Throttler):
+    """Accuracy/lateness/pollution driven aggressiveness counter."""
+
+    name = "fdp"
+    ACCURACY_HIGH = 0.75
+    ACCURACY_LOW = 0.40
+    LATENESS_THRESHOLD = 0.10
+    POLLUTION_THRESHOLD = 0.25
+
+    def decide(self, snapshot: ThrottleSnapshot) -> float:
+        self.decisions += 1
+        if snapshot.issued == 0:
+            return self.scale
+        accuracy = snapshot.accuracy
+        late = snapshot.lateness > self.LATENESS_THRESHOLD
+        polluting = snapshot.pollution > self.POLLUTION_THRESHOLD
+        if accuracy >= self.ACCURACY_HIGH:
+            if late:
+                self.level += 1        # Accurate but late: run farther ahead.
+            elif polluting:
+                self.level -= 1
+            # Accurate, timely, clean: leave it alone.
+        elif accuracy >= self.ACCURACY_LOW:
+            if polluting:
+                self.level -= 1
+            elif late:
+                self.level += 1
+        else:
+            self.level -= 1            # Inaccurate: back off.
+        self._clamp_level()
+        return self.scale

@@ -1,0 +1,38 @@
+"""HPAC: Hierarchical Prefetcher Aggressiveness Control (MICRO 2009).
+
+A local FDP-style controller plus a *global* layer watching shared-resource
+interference: when memory bandwidth runs hot and this core's prefetches are
+not pulling their weight, the global controller overrides the local
+decision and throttles down harder.
+"""
+
+from __future__ import annotations
+
+from repro.throttle.base import Throttler, ThrottleSnapshot
+from repro.throttle.fdp import FdpThrottler
+
+
+class HpacThrottler(Throttler):
+    """Global interference override on top of local FDP."""
+
+    name = "hpac"
+    GLOBAL_BANDWIDTH_HOT = 0.80
+    GLOBAL_ACCURACY_FLOOR = 0.60
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._local = FdpThrottler()
+
+    def decide(self, snapshot: ThrottleSnapshot) -> float:
+        self.decisions += 1
+        self._local.decide(snapshot)
+        self.level = self._local.level
+        if (snapshot.dram_utilization > self.GLOBAL_BANDWIDTH_HOT
+                and snapshot.accuracy < self.GLOBAL_ACCURACY_FLOOR
+                and snapshot.issued > 0):
+            # Global: enforced throttle-down of interfering prefetchers.
+            self.level -= 2
+            self._local.level = min(self._local.level, self.level)
+            self._local._clamp_level()
+        self._clamp_level()
+        return self.scale

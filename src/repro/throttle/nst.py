@@ -1,0 +1,30 @@
+"""NST: Near-Side Prefetch Throttling (PACT 2018).
+
+NST observes congestion on the *near side* of the memory hierarchy -- the
+core's own MSHRs and queues -- rather than far-side DRAM metrics: if the
+prefetcher keeps the near-side structures saturated, demands queue behind
+prefetches and latency grows, so aggressiveness comes down.
+"""
+
+from __future__ import annotations
+
+from repro.throttle.base import Throttler, ThrottleSnapshot
+
+
+class NstThrottler(Throttler):
+    """MSHR-occupancy hysteresis control."""
+
+    name = "nst"
+    OCCUPANCY_HIGH = 0.75
+    OCCUPANCY_LOW = 0.25
+
+    def decide(self, snapshot: ThrottleSnapshot) -> float:
+        self.decisions += 1
+        if snapshot.mshr_occupancy > self.OCCUPANCY_HIGH:
+            self.level -= 1
+        elif (snapshot.mshr_occupancy < self.OCCUPANCY_LOW
+                and snapshot.issued > 0
+                and snapshot.accuracy > 0.5):
+            self.level += 1
+        self._clamp_level()
+        return self.scale

@@ -1,0 +1,40 @@
+"""SPAC: Synergistic Prefetcher Aggressiveness Controller (IEEE TC 2016).
+
+SPAC estimates each prefetcher's *utility* -- useful prefetches delivered
+per unit of shared bandwidth consumed -- and throttles toward the aggregate
+optimum: cores whose prefetchers return little per bus slot give way when
+bandwidth is scarce.
+"""
+
+from __future__ import annotations
+
+from repro.throttle.base import Throttler, ThrottleSnapshot
+
+
+class SpacThrottler(Throttler):
+    """Utility-per-bandwidth proportional control."""
+
+    name = "spac"
+    UTILITY_UP = 0.70
+    UTILITY_DOWN = 0.35
+    EWMA = 0.5
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._utility = 0.5
+
+    def decide(self, snapshot: ThrottleSnapshot) -> float:
+        self.decisions += 1
+        if snapshot.issued == 0:
+            return self.scale
+        # Utility: accuracy discounted by how contended the bus already is.
+        instantaneous = snapshot.accuracy * (1.0
+                                             - 0.5 * snapshot.dram_utilization)
+        self._utility = (self.EWMA * self._utility
+                         + (1 - self.EWMA) * instantaneous)
+        if self._utility >= self.UTILITY_UP:
+            self.level += 1
+        elif self._utility < self.UTILITY_DOWN:
+            self.level -= 1
+        self._clamp_level()
+        return self.scale

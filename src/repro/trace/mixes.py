@@ -1,0 +1,45 @@
+"""Workload mix construction (paper section 5, "Workloads").
+
+The paper evaluates 45 homogeneous 64-core mixes (every core runs the same
+SPEC trace, rate mode) and 200 randomly generated heterogeneous mixes drawn
+from SPEC CPU2017 and GAP with "no bias towards any specific benchmark".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.trace.workloads import GAP_WORKLOADS, SPEC_HOMOGENEOUS_MIXES
+
+
+def homogeneous_mix(name: str, num_cores: int) -> List[str]:
+    """Every core runs the same workload (SPEC-rate style)."""
+    if num_cores < 1:
+        raise ValueError("num_cores must be positive")
+    return [name] * num_cores
+
+
+def heterogeneous_mixes(count: int, num_cores: int,
+                        seed: int = 2023,
+                        pool: Sequence[str] | None = None,
+                        ) -> List[List[str]]:
+    """Randomly generated heterogeneous mixes (paper: 200 mixes).
+
+    Each mix assigns every core an independent uniform draw from the SPEC +
+    GAP pool, mirroring the paper's unbiased random generation.  The same
+    ``(count, num_cores, seed)`` always yields the same mixes.
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    if num_cores < 1:
+        raise ValueError("num_cores must be positive")
+    rng = random.Random(seed)
+    candidates = list(pool) if pool is not None else (
+        SPEC_HOMOGENEOUS_MIXES + GAP_WORKLOADS)
+    if not candidates:
+        raise ValueError("empty workload pool")
+    return [
+        [rng.choice(candidates) for _ in range(num_cores)]
+        for _ in range(count)
+    ]

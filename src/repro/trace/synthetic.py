@@ -1,0 +1,266 @@
+"""Synthetic workload generation.
+
+Each workload is described by a :class:`WorkloadSpec`: a weighted set of
+memory *streams* plus filler compute/branch behaviour.  Streams encode the
+access-pattern archetypes that matter for the paper's mechanisms:
+
+``stride``
+    Constant-stride loads (prefetch-friendly; Berti/IPCP learn these).
+``pointer``
+    Pointer chasing: each load's address depends on the previous load's
+    destination register, serialising misses (low MLP; mcf-like; critical
+    but hard to prefetch accurately).
+``spatial``
+    Region-footprint accesses with a recurring per-stream offset pattern
+    (Bingo/SPP-friendly).
+``random``
+    Uniformly random lines in a footprint (unprefetchable noise).
+``hotcold``
+    A branch-correlated load: one IP whose address falls in a small hot
+    region or a large cold region depending on the preceding conditional
+    branch.  This produces *dynamic-critical* IPs -- the same IP stalls the
+    ROB only on the cold path -- which IP-indexed predictors mispredict and
+    CLIP's branch-history signature captures (paper section 4.2).
+``stream_store``
+    Streaming stores (lbm-like) that generate writeback bandwidth pressure.
+
+Generation is fully deterministic given (spec, core id, length).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.trace.record import Op, TraceRecord
+
+_LINE = 64
+#: General-purpose destination registers rotate through 0..23; registers
+#: 24..31 are reserved as per-stream pointer-chase registers so that a
+#: chased value is never clobbered by unrelated filler instructions.
+_REG_POOL = 24
+_CHASE_REG_BASE = 24
+_CHASE_REGS = 8
+
+
+def _stable_seed(*parts: object) -> int:
+    digest = hashlib.sha256("/".join(str(p) for p in parts).encode())
+    return int.from_bytes(digest.digest()[:8], "little")
+
+
+@dataclass
+class StreamSpec:
+    """One memory access stream inside a workload."""
+
+    kind: str
+    weight: float = 1.0
+    footprint_kib: int = 8192
+    stride: int = _LINE
+    region_bytes: int = 2048
+    spatial_density: float = 0.5
+    hot_footprint_kib: int = 16
+    hot_probability: float = 0.5
+    #: Dependent ALU instructions following each load.
+    dep_alu: int = 2
+    #: Loop-branch bias for this stream's loop branch.
+    branch_bias: float = 0.99
+    #: Number of distinct load IPs this stream rotates through.
+    ips: int = 1
+
+    def __post_init__(self) -> None:
+        valid = {"stride", "pointer", "spatial", "random", "hotcold",
+                 "stream_store"}
+        if self.kind not in valid:
+            raise ValueError(f"unknown stream kind {self.kind!r}")
+        if self.footprint_kib < 1:
+            raise ValueError("footprint must be at least 1 KiB")
+        if self.weight <= 0:
+            raise ValueError("stream weight must be positive")
+
+
+@dataclass
+class WorkloadSpec:
+    """A named workload: streams plus filler-instruction behaviour."""
+
+    name: str
+    streams: List[StreamSpec] = field(default_factory=list)
+    #: Probability that a bundle slot is a standalone ALU filler bundle.
+    alu_filler_weight: float = 1.0
+    #: Number of phases; weights rotate between phases.
+    phases: int = 1
+    #: Instructions per phase before weights rotate.
+    phase_length: int = 6000
+
+    def __post_init__(self) -> None:
+        if not self.streams:
+            raise ValueError(f"workload {self.name!r} has no streams")
+        if self.phases < 1:
+            raise ValueError("phases must be >= 1")
+
+
+class _StreamState:
+    """Mutable per-stream generation state."""
+
+    __slots__ = ("spec", "base_ip", "base_addr", "cursor", "last_dst",
+                 "region_base", "region_offsets", "region_pos", "hot_base",
+                 "chase_reg", "pattern")
+
+    def __init__(self, spec: StreamSpec, index: int, base_ip: int,
+                 rng: random.Random) -> None:
+        self.spec = spec
+        self.base_ip = base_ip + index * 0x10000
+        self.chase_reg = _CHASE_REG_BASE + index % _CHASE_REGS
+        # Streams get disjoint address regions inside the workload space,
+        # with a per-stream page-aligned jitter so bases do not all align
+        # on the same power-of-two boundary (real heaps never do).
+        jitter = (rng.randrange(1 << 14)) << 12
+        self.base_addr = 0x1000_0000 + index * 0x4000_0000 + jitter
+        self.cursor = 0
+        self.last_dst: Optional[int] = None
+        self.region_base = 0
+        # Force a region pick on the first spatial emission.
+        self.region_pos = 1 << 30
+        self.hot_base = self.base_addr + 0x2000_0000
+        # A fixed per-stream spatial footprint (recurs across regions).
+        lines_per_region = max(1, spec.region_bytes // _LINE)
+        wanted = max(1, int(lines_per_region * spec.spatial_density))
+        self.region_offsets = sorted(
+            rng.sample(range(lines_per_region), min(wanted, lines_per_region)))
+        self.pattern = 0
+
+
+class SyntheticWorkload:
+    """Deterministic instruction-stream generator for one workload."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+
+    def generate(self, length: int, core_id: int = 0) -> List[TraceRecord]:
+        """Generate ``length`` instructions for one core.
+
+        The same (spec, core_id, length prefix) always produces the same
+        stream; different cores get different interleavings (SPEC-rate runs
+        start all copies at the same SimPoint, but queueing noise decorrelates
+        them -- a different RNG stream per core models that).
+        """
+        if length < 1:
+            raise ValueError("length must be positive")
+        rng = random.Random(_stable_seed(self.spec.name, core_id))
+        base_ip = 0x400000 + (_stable_seed(self.spec.name) & 0xFFFF) * 0x100
+        states = [
+            _StreamState(spec, i, base_ip, rng)
+            for i, spec in enumerate(self.spec.streams)
+        ]
+        out: List[TraceRecord] = []
+        next_reg = 0
+        phase = 0
+        while len(out) < length:
+            if self.spec.phases > 1:
+                phase = (len(out) // self.spec.phase_length) % self.spec.phases
+            weights = self._phase_weights(phase)
+            choice = rng.choices(range(len(states) + 1), weights=weights)[0]
+            if choice == len(states):
+                next_reg = self._emit_filler(out, rng, base_ip, next_reg)
+            else:
+                next_reg = self._emit_bundle(
+                    states[choice], out, rng, next_reg)
+        del out[length:]
+        return out
+
+    def _phase_weights(self, phase: int) -> List[float]:
+        """Stream weights for ``phase``; phases rotate stream emphasis."""
+        weights = [s.weight for s in self.spec.streams]
+        if phase:
+            rotation = phase % len(weights)
+            weights = weights[rotation:] + weights[:rotation]
+        return weights + [self.spec.alu_filler_weight]
+
+    @staticmethod
+    def _skewed_line(rng: random.Random, footprint: int) -> int:
+        """Pick a line index with realistic skew: most irregular accesses
+        (pointer chases, graph lookups) revisit a hot fraction of the
+        structure rather than sweeping it uniformly."""
+        span = max(1, footprint // _LINE)
+        if rng.random() < 0.7:
+            return rng.randrange(max(1, span // 16))
+        return rng.randrange(span)
+
+    def _emit_filler(self, out: List[TraceRecord], rng: random.Random,
+                     base_ip: int, next_reg: int) -> int:
+        dst = next_reg % _REG_POOL
+        out.append(TraceRecord(base_ip + 0x8, Op.ALU, dst=dst))
+        if rng.random() < 0.2:
+            out.append(TraceRecord(base_ip + 0x10, Op.BRANCH,
+                                   taken=rng.random() < 0.97,
+                                   srcs=(dst,)))
+        return next_reg + 1
+
+    def _emit_bundle(self, state: _StreamState, out: List[TraceRecord],
+                     rng: random.Random, next_reg: int) -> int:
+        spec = state.spec
+        footprint = spec.footprint_kib * 1024
+        ip_slot = state.cursor % max(1, spec.ips)
+        load_ip = state.base_ip + ip_slot * 0x20
+        dst = next_reg % _REG_POOL
+        next_reg += 1
+
+        if spec.kind == "stride":
+            address = state.base_addr + (state.cursor * spec.stride) % footprint
+            out.append(TraceRecord(load_ip, Op.LOAD, address=address, dst=dst))
+        elif spec.kind == "pointer":
+            address = state.base_addr + self._skewed_line(rng, footprint) * _LINE
+            srcs = (state.chase_reg,) if state.last_dst is not None else ()
+            dst = state.chase_reg
+            out.append(TraceRecord(load_ip, Op.LOAD, address=address,
+                                   dst=dst, srcs=srcs))
+            state.last_dst = dst
+        elif spec.kind == "spatial":
+            if state.region_pos >= len(state.region_offsets):
+                state.region_pos = 0
+                state.region_base = (state.base_addr
+                                     + rng.randrange(footprint // spec.region_bytes)
+                                     * spec.region_bytes)
+            offset = state.region_offsets[state.region_pos]
+            state.region_pos += 1
+            address = state.region_base + offset * _LINE
+            out.append(TraceRecord(load_ip, Op.LOAD, address=address, dst=dst))
+        elif spec.kind == "random":
+            address = state.base_addr + self._skewed_line(rng, footprint) * _LINE
+            out.append(TraceRecord(load_ip, Op.LOAD, address=address, dst=dst))
+        elif spec.kind == "hotcold":
+            # Branch first; its outcome selects the hot or cold region for
+            # the *same* load IP.  The branch is data-dependent (sourced from
+            # the previous iteration's load) so it resolves late and its
+            # outcome genuinely precedes the load in global branch history.
+            take_hot = rng.random() < spec.hot_probability
+            branch_srcs = (state.chase_reg,) if state.last_dst is not None else ()
+            out.append(TraceRecord(state.base_ip + 0x4, Op.BRANCH,
+                                   taken=take_hot, srcs=branch_srcs))
+            if take_hot:
+                hot_bytes = spec.hot_footprint_kib * 1024
+                address = state.hot_base + rng.randrange(hot_bytes // _LINE) * _LINE
+            else:
+                address = state.base_addr + rng.randrange(footprint // _LINE) * _LINE
+            dst = state.chase_reg
+            out.append(TraceRecord(load_ip, Op.LOAD, address=address, dst=dst))
+            state.last_dst = dst
+        elif spec.kind == "stream_store":
+            address = state.base_addr + (state.cursor * spec.stride) % footprint
+            out.append(TraceRecord(load_ip, Op.LOAD, address=address, dst=dst))
+            out.append(TraceRecord(load_ip + 0x4, Op.STORE,
+                                   address=address, srcs=(dst,)))
+        else:  # pragma: no cover - guarded by StreamSpec validation
+            raise AssertionError(spec.kind)
+
+        state.cursor += 1
+        for i in range(spec.dep_alu):
+            alu_dst = next_reg % _REG_POOL
+            next_reg += 1
+            out.append(TraceRecord(state.base_ip + 0x40 + i * 4, Op.ALU,
+                                   dst=alu_dst, srcs=(dst,)))
+        # Loop branch closing the bundle (predictable, biased taken).
+        out.append(TraceRecord(state.base_ip + 0x60, Op.BRANCH,
+                               taken=rng.random() < spec.branch_bias))
+        return next_reg

@@ -1,0 +1,239 @@
+"""Named workload models.
+
+The paper evaluates 45 memory-intensive SPEC CPU2017 SimPoint traces
+(Figs. 10-16 list them by name), the GAP suite, CloudSuite, and CVP
+client/server traces.  Real traces are unavailable here, so each name maps
+to a :class:`WorkloadSpec` whose stream mix reflects the benchmark's
+published memory character:
+
+* ``mcf``        -- pointer chasing over a large footprint with
+  branch-correlated hot/cold behaviour (dynamic-critical IPs);
+* ``lbm``        -- streaming loads + stores, extreme bandwidth demand;
+* ``bwaves`` / ``fotonik3d`` / ``roms`` / ``cactuBSSN`` / ``wrf`` / ``pop2``
+  -- strided/stencil HPC streams, prefetch-friendly;
+* ``gcc`` / ``perlbench`` / ``xalancbmk`` / ``omnetpp`` / ``xz``
+  -- irregular, branchy, pointer-flavoured integer codes;
+* GAP            -- irregular graph analytics (random + pointer);
+* CloudSuite/CVP -- mostly cache-resident with sparse irregular misses
+  (prefetchers gain little; paper Fig. 17).
+
+The SimPoint suffix (e.g. ``-1536B``) seeds small parameter perturbations so
+different SimPoints of one benchmark behave similarly but not identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List
+
+from repro.trace.synthetic import StreamSpec, WorkloadSpec
+
+
+def _perturb(name: str, low: float, high: float) -> float:
+    """A deterministic per-name value in [low, high)."""
+    digest = hashlib.sha256(name.encode()).digest()
+    fraction = int.from_bytes(digest[:4], "little") / 2 ** 32
+    return low + (high - low) * fraction
+
+
+def _mcf(name: str) -> WorkloadSpec:
+    footprint = int(_perturb(name, 16_000, 40_000))
+    return WorkloadSpec(name=name, streams=[
+        # Hot working set (stack/globals): L1-resident by construction.
+        StreamSpec(kind="random", weight=8.0, footprint_kib=4, dep_alu=1),
+        # Warm spatial regions: L2-resident, pattern-learnable.
+        StreamSpec(kind="spatial", weight=1.0, footprint_kib=96,
+                   region_bytes=1024, spatial_density=0.5, dep_alu=1),
+        # Cold signature behaviour: pointer chasing + hot/cold dynamics.
+        StreamSpec(kind="pointer", weight=0.5, footprint_kib=footprint,
+                   dep_alu=2, ips=2),
+        StreamSpec(kind="hotcold", weight=0.35, footprint_kib=footprint,
+                   hot_footprint_kib=16,
+                   hot_probability=_perturb(name + "h", 0.35, 0.6)),
+        StreamSpec(kind="random", weight=0.2, footprint_kib=footprint),
+        # A prefetchable cold stride (real mcf has array sweeps Berti
+        # covers with ~51-93% accuracy; Fig. 13 discussion).
+        StreamSpec(kind="stride", weight=0.3, footprint_kib=footprint,
+                   stride=64, dep_alu=2),
+    ], alu_filler_weight=6.0)
+
+
+def _lbm(name: str) -> WorkloadSpec:
+    footprint = int(_perturb(name, 24_000, 48_000))
+    return WorkloadSpec(name=name, streams=[
+        StreamSpec(kind="random", weight=5.0, footprint_kib=4, dep_alu=1),
+        StreamSpec(kind="stream_store", weight=0.8,
+                   footprint_kib=footprint, stride=64, dep_alu=3, ips=2),
+        StreamSpec(kind="stride", weight=0.6, footprint_kib=footprint,
+                   stride=64, dep_alu=3, ips=2),
+        StreamSpec(kind="stride", weight=0.3, footprint_kib=footprint,
+                   stride=128, dep_alu=2),
+    ], alu_filler_weight=4.0)
+
+
+def _hpc_strided(name: str, strides: List[int],
+                 footprint_low: int = 12_000,
+                 footprint_high: int = 32_000) -> WorkloadSpec:
+    footprint = int(_perturb(name, footprint_low, footprint_high))
+    streams = [
+        StreamSpec(kind="stride", weight=0.5, footprint_kib=footprint,
+                   stride=stride, dep_alu=2, ips=1 + i % 2)
+        for i, stride in enumerate(strides)
+    ]
+    streams.append(StreamSpec(kind="random", weight=7.0, footprint_kib=4,
+                              dep_alu=1))
+    streams.append(StreamSpec(kind="spatial", weight=1.0, footprint_kib=128,
+                              region_bytes=2048, spatial_density=0.6,
+                              dep_alu=1))
+    return WorkloadSpec(name=name, streams=streams, alu_filler_weight=5.0)
+
+
+def _irregular_int(name: str, phases: int = 1) -> WorkloadSpec:
+    footprint = int(_perturb(name, 4_000, 16_000))
+    return WorkloadSpec(name=name, streams=[
+        StreamSpec(kind="random", weight=8.0, footprint_kib=4, dep_alu=1),
+        StreamSpec(kind="spatial", weight=1.0, footprint_kib=96,
+                   region_bytes=1024, spatial_density=0.4, dep_alu=1),
+        StreamSpec(kind="pointer", weight=0.3, footprint_kib=footprint,
+                   dep_alu=2),
+        StreamSpec(kind="hotcold", weight=0.25, footprint_kib=footprint,
+                   hot_footprint_kib=16,
+                   hot_probability=_perturb(name + "h", 0.4, 0.7)),
+        StreamSpec(kind="stride", weight=0.25, footprint_kib=footprint,
+                   stride=64, dep_alu=1),
+    ], alu_filler_weight=7.0, phases=phases)
+
+
+def _gap(name: str) -> WorkloadSpec:
+    footprint = int(_perturb(name, 24_000, 64_000))
+    return WorkloadSpec(name=name, streams=[
+        StreamSpec(kind="random", weight=7.0, footprint_kib=4, dep_alu=1),
+        StreamSpec(kind="random", weight=0.5, footprint_kib=footprint,
+                   dep_alu=1, ips=3),
+        StreamSpec(kind="pointer", weight=0.4, footprint_kib=footprint,
+                   dep_alu=1, ips=2),
+        StreamSpec(kind="stride", weight=0.3, footprint_kib=footprint,
+                   stride=64, ips=1),
+        StreamSpec(kind="hotcold", weight=0.25, footprint_kib=footprint,
+                   hot_footprint_kib=32,
+                   hot_probability=_perturb(name + "h", 0.5, 0.8)),
+    ], alu_filler_weight=5.0)
+
+
+def _cloud(name: str) -> WorkloadSpec:
+    # Mostly cache-resident; few and irregular off-chip misses, so
+    # prefetchers struggle to find patterns (paper Fig. 17).
+    return WorkloadSpec(name=name, streams=[
+        StreamSpec(kind="random", weight=6.0, footprint_kib=6, dep_alu=1),
+        StreamSpec(kind="spatial", weight=1.5, footprint_kib=64,
+                   region_bytes=1024, spatial_density=0.5, dep_alu=1),
+        StreamSpec(kind="random", weight=0.25,
+                   footprint_kib=int(_perturb(name, 8_000, 24_000)),
+                   dep_alu=1),
+        StreamSpec(kind="pointer", weight=0.15,
+                   footprint_kib=int(_perturb(name + "p", 4_000, 12_000))),
+    ], alu_filler_weight=8.0)
+
+
+def _spec_model(name: str) -> WorkloadSpec:
+    benchmark = name.split(".", 1)[1].split("_", 1)[0] if "." in name else name
+    if benchmark == "mcf":
+        return _mcf(name)
+    if benchmark == "lbm":
+        return _lbm(name)
+    if benchmark == "bwaves":
+        return _hpc_strided(name, [64, 128, 192])
+    if benchmark == "cactuBSSN":
+        return _hpc_strided(name, [64, 256, 512, 1024],
+                            footprint_low=12_000, footprint_high=24_000)
+    if benchmark == "wrf":
+        return _hpc_strided(name, [64, 128])
+    if benchmark == "pop2":
+        spec = _hpc_strided(name, [64, 256])
+        spec.phases = 2
+        return spec
+    if benchmark == "fotonik3d":
+        return _hpc_strided(name, [64, 64, 128],
+                            footprint_low=16_000, footprint_high=28_000)
+    if benchmark == "roms":
+        return _hpc_strided(name, [64, 128, 256])
+    if benchmark == "gcc":
+        return _irregular_int(name, phases=2)
+    if benchmark == "perlbench":
+        return _irregular_int(name, phases=2)
+    if benchmark == "omnetpp":
+        return _irregular_int(name)
+    if benchmark == "xalancbmk":
+        return _irregular_int(name)
+    if benchmark == "xz":
+        return _irregular_int(name)
+    raise KeyError(f"no model for SPEC benchmark {benchmark!r}")
+
+
+#: The 45 memory-intensive SPEC CPU2017 SimPoint traces from Figs. 10-16.
+SPEC_HOMOGENEOUS_MIXES: List[str] = [
+    "600.perlbench_s-570B",
+    "602.gcc_s-1850B", "602.gcc_s-2226B", "602.gcc_s-734B",
+    "603.bwaves_s-1740B", "603.bwaves_s-2609B", "603.bwaves_s-2931B",
+    "603.bwaves_s-891B",
+    "605.mcf_s-1152B", "605.mcf_s-1536B", "605.mcf_s-1554B",
+    "605.mcf_s-1644B", "605.mcf_s-472B", "605.mcf_s-484B",
+    "605.mcf_s-665B", "605.mcf_s-782B", "605.mcf_s-994B",
+    "607.cactuBSSN_s-2421B", "607.cactuBSSN_s-3477B", "607.cactuBSSN_s-4004B",
+    "619.lbm_s-2676B", "619.lbm_s-2677B", "619.lbm_s-3766B",
+    "619.lbm_s-4268B",
+    "620.omnetpp_s-141B", "620.omnetpp_s-874B",
+    "621.wrf_s-6673B", "621.wrf_s-8065B",
+    "623.xalancbmk_s-10B", "623.xalancbmk_s-165B", "623.xalancbmk_s-202B",
+    "628.pop2_s-17B",
+    "649.fotonik3d_s-10881B", "649.fotonik3d_s-1176B",
+    "649.fotonik3d_s-7084B", "649.fotonik3d_s-8225B",
+    "654.roms_s-1007B", "654.roms_s-1070B", "654.roms_s-1390B",
+    "654.roms_s-1613B", "654.roms_s-293B", "654.roms_s-294B",
+    "654.roms_s-523B",
+    "657.xz_s-1306B", "657.xz_s-2302B",
+]
+
+#: GAP benchmark suite traces (graph analytics).
+GAP_WORKLOADS: List[str] = [
+    "bfs-14", "bfs-22", "pr-14", "pr-22", "cc-14", "cc-22",
+    "bc-14", "bc-22", "sssp-14", "sssp-22", "tc-14", "tc-22",
+]
+
+#: CloudSuite traces (paper Fig. 17).
+CLOUDSUITE_WORKLOADS: List[str] = [
+    "cassandra", "classification", "cloud9", "nutch", "streaming",
+]
+
+#: CVP-1 championship client/server traces (paper Fig. 17).
+CVP_WORKLOADS: List[str] = [
+    "client_001", "client_005", "server_013", "server_021", "server_036",
+]
+
+
+def _build_registry() -> Dict[str, WorkloadSpec]:
+    registry: Dict[str, WorkloadSpec] = {}
+    for name in SPEC_HOMOGENEOUS_MIXES:
+        registry[name] = _spec_model(name)
+    for name in GAP_WORKLOADS:
+        registry[name] = _gap(name)
+    for name in CLOUDSUITE_WORKLOADS + CVP_WORKLOADS:
+        registry[name] = _cloud(name)
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a workload model by its trace name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; see workload_names()") from None
+
+
+def workload_names() -> List[str]:
+    """All registered workload names."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig, scaled_config
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def tiny_config() -> SystemConfig:
+    """A 2-core, 1-channel configuration small enough for unit tests."""
+    return scaled_config(num_cores=2, channels=1, sim_instructions=1_500)

@@ -1,0 +1,171 @@
+"""Behavioural tests of the assembled CLIP controller."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import MulticoreSystem, run_system, scaled_config
+from repro.config import ClipConfig
+from repro.core.clip import Clip
+from repro.trace import homogeneous_mix
+
+
+def _clip_config(**kw) -> ClipConfig:
+    config = ClipConfig(enabled=True, exploration_window_misses=32,
+                        apc_history_windows=4)
+    return dataclasses.replace(config, **kw)
+
+
+class TestFilterRequestStages:
+    def test_unknown_ip_dropped_as_noncritical(self):
+        clip = Clip(_clip_config())
+        allowed, crit = clip.filter_request(0x999, 0x4000, cycle=0)
+        assert not allowed and not crit
+        assert clip.stats.dropped_not_critical == 1
+
+    def test_critical_trained_ip_passes_both_stages(self):
+        clip = Clip(_clip_config())
+        ip, address = 0x400, 0x4000
+        for _ in range(4):
+            clip.filter.record_critical(ip)
+        # Teach the predictor that this context is critical.
+        line = address >> 6
+        for _ in range(3):
+            clip.predictor.train(clip._signature(ip, line), True)
+        allowed, crit = clip.filter_request(ip, address, cycle=0)
+        assert allowed and crit
+        assert clip.stats.prefetches_allowed == 1
+
+    def test_predictor_veto(self):
+        clip = Clip(_clip_config())
+        ip, address = 0x400, 0x4000
+        for _ in range(4):
+            clip.filter.record_critical(ip)
+        line = address >> 6
+        for _ in range(6):
+            clip.predictor.train(clip._signature(ip, line), False)
+        allowed, _ = clip.filter_request(ip, address, cycle=0)
+        assert not allowed
+        assert clip.stats.dropped_predictor == 1
+
+    def test_no_crit_flag_when_priority_disabled(self):
+        clip = Clip(_clip_config(criticality_conscious_noc_dram=False))
+        ip, address = 0x400, 0x4000
+        for _ in range(4):
+            clip.filter.record_critical(ip)
+        clip.predictor.train(clip._signature(ip, address >> 6), True)
+        allowed, crit = clip.filter_request(ip, address, cycle=0)
+        assert allowed and not crit
+
+    def test_stage1_disabled_passes_everything_unknown(self):
+        clip = Clip(_clip_config(use_criticality_filter=False))
+        allowed, _ = clip.filter_request(0x123, 0x9000, cycle=0)
+        assert allowed
+
+    def test_accuracy_stage_blocks_certified_inaccurate_ip(self):
+        clip = Clip(_clip_config())
+        ip = 0x400
+        for _ in range(4):
+            clip.filter.record_critical(ip)
+        # Simulate a window of poor per-IP accuracy.
+        for _ in range(10):
+            clip.filter.note_issue(ip)
+        clip.filter.note_hit(ip)
+        clip.filter.end_window()
+        clip.predictor.train(clip._signature(ip, 0x4000 >> 6), True)
+        allowed, _ = clip.filter_request(ip, 0x4000, cycle=0)
+        assert not allowed
+        assert clip.stats.dropped_low_accuracy == 1
+
+
+class TestUtilityAccounting:
+    def test_issue_and_demand_match_credit_trigger_ip(self):
+        clip = Clip(_clip_config())
+        ip = 0x400
+        for _ in range(4):
+            clip.filter.record_critical(ip)
+        clip.on_prefetch_issued(line=0x77, trigger_ip=ip)
+        entry = clip.filter.get(ip)
+        assert entry.issue_count == 1
+        clip.on_l1d_access(line=0x77, cycle=10)
+        assert entry.hit_count == 1
+
+    def test_windows_advance_on_misses(self):
+        clip = Clip(_clip_config(exploration_window_misses=8))
+        for i in range(16):
+            clip.on_l1d_miss(cycle=i * 10)
+        assert clip.stats.windows == 2
+
+
+class TestPhaseReset:
+    def test_phase_change_resets_structures(self):
+        clip = Clip(_clip_config(exploration_window_misses=4,
+                                 apc_history_windows=4))
+        clip.filter.record_critical(0x400)
+        clip.predictor.train(123, True)
+        clip.utility_buffer.insert(1, 0x400)
+        # Warm up the APC history with a steady rate, then shift it hard.
+        cycle = 0
+        for window in range(6):
+            for _ in range(40):
+                clip.on_l1d_access(0, cycle)
+            cycle += 1000
+            for _ in range(4):
+                clip.on_l1d_miss(cycle)
+        # Now a dramatically hotter window.
+        for _ in range(400):
+            clip.on_l1d_access(0, cycle)
+        cycle += 1000
+        for _ in range(4):
+            clip.on_l1d_miss(cycle)
+        assert clip.stats.phase_changes >= 1
+        assert len(clip.filter) == 0
+        assert len(clip.utility_buffer) == 0
+        # And prefetching pauses for the following window.
+        allowed, _ = clip.filter_request(0x400, 0x4000, cycle)
+        assert not allowed
+        assert clip.stats.dropped_phase_pause == 1
+
+
+class TestClipEndToEnd:
+    def test_census_distinguishes_static_and_dynamic(self):
+        """The hotcold stream makes some IPs dynamic-critical."""
+        config = scaled_config(num_cores=2, channels=1,
+                               sim_instructions=8_000)
+        config.l1_prefetcher = dataclasses.replace(config.l1_prefetcher,
+                                                   name="berti")
+        config.clip.enabled = True
+        system = MulticoreSystem(config,
+                                 homogeneous_mix("605.mcf_s-1536B", 2))
+        system.run()
+        static = dynamic = 0
+        for node in system.nodes:
+            s, d = node.clip.critical_ip_census()
+            static += s
+            dynamic += d
+        assert static + dynamic > 0
+
+    def test_clip_never_issues_more_than_prefetcher(self):
+        config = scaled_config(num_cores=2, channels=1,
+                               sim_instructions=6_000)
+        config.l1_prefetcher = dataclasses.replace(config.l1_prefetcher,
+                                                   name="berti")
+        mix = homogeneous_mix("603.bwaves_s-1740B", 2)
+        plain = run_system(config, mix)
+        config.clip.enabled = True
+        clipped = run_system(config, mix)
+        assert clipped.prefetch.issued <= plain.prefetch.issued
+
+    def test_signature_ablation_changes_predictions(self):
+        full = Clip(_clip_config())
+        ip_only = Clip(_clip_config(signature_use_address=False,
+                                    signature_use_branch_history=False,
+                                    signature_use_criticality_history=False))
+        full.branch_history.push(True)
+        ip_only.branch_history.push(True)
+        assert full._signature(0x400, 0x99) != \
+            full._signature(0x400, 0x99 + (1 << 10))
+        assert ip_only._signature(0x400, 0x99) == \
+            ip_only._signature(0x400, 0x99 + (1 << 10))

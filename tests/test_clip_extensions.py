@@ -1,0 +1,119 @@
+"""Tests for the CLIP extensions: Dynamic CLIP (paper section 5.3 future
+work) and page-indexed tracking for non-IP L2 prefetchers (section 4.2)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import run_system, scaled_config
+from repro.config import ClipConfig
+from repro.core.clip import Clip
+from repro.trace import homogeneous_mix
+
+
+def _clip(**kw) -> Clip:
+    return Clip(dataclasses.replace(
+        ClipConfig(enabled=True, exploration_window_misses=4,
+                   apc_history_windows=4), **kw))
+
+
+class TestDynamicClip:
+    def _certify(self, clip: Clip, ip: int) -> None:
+        for _ in range(4):
+            clip.filter.record_critical(ip)
+        clip.predictor.train(clip._signature(ip, 0x4000 >> 6), True)
+
+    def test_bypass_under_ample_bandwidth(self):
+        clip = _clip(dynamic=True)
+        clip.bandwidth_probe = lambda: 0.05
+        for _ in range(4):
+            clip.on_l1d_miss(cycle=100)
+        # Unknown IP would normally be dropped; bypass lets it through.
+        allowed, crit = clip.filter_request(0x999, 0x8000, cycle=200)
+        assert allowed and not crit
+
+    def test_reengages_when_bandwidth_tightens(self):
+        clip = _clip(dynamic=True)
+        utilization = [0.05]
+        clip.bandwidth_probe = lambda: utilization[0]
+        for _ in range(4):
+            clip.on_l1d_miss(cycle=100)
+        assert clip._dynamic_bypassed
+        utilization[0] = 0.95
+        for _ in range(4):
+            clip.on_l1d_miss(cycle=200)
+        assert not clip._dynamic_bypassed
+        allowed, _ = clip.filter_request(0x999, 0x8000, cycle=300)
+        assert not allowed
+
+    def test_hysteresis_band_holds_state(self):
+        clip = _clip(dynamic=True)
+        utilization = [0.05]
+        clip.bandwidth_probe = lambda: utilization[0]
+        for _ in range(4):
+            clip.on_l1d_miss(cycle=100)
+        assert clip._dynamic_bypassed
+        # In the hysteresis band: stays bypassed.
+        utilization[0] = 0.38
+        for _ in range(4):
+            clip.on_l1d_miss(cycle=200)
+        assert clip._dynamic_bypassed
+
+    def test_static_clip_never_bypasses(self):
+        clip = _clip(dynamic=False)
+        clip.bandwidth_probe = lambda: 0.0
+        for _ in range(4):
+            clip.on_l1d_miss(cycle=100)
+        allowed, _ = clip.filter_request(0x999, 0x8000, cycle=200)
+        assert not allowed
+
+    def test_end_to_end_dynamic_at_high_bandwidth(self):
+        """With many channels, dynamic CLIP converges toward plain Berti."""
+        config = scaled_config(num_cores=2, channels=8,
+                               sim_instructions=5_000)
+        config.l1_prefetcher = dataclasses.replace(config.l1_prefetcher,
+                                                   name="berti")
+        mix = homogeneous_mix("603.bwaves_s-1740B", 2)
+        plain = run_system(config, mix)
+        config.clip = dataclasses.replace(config.clip, enabled=True,
+                                          dynamic=True)
+        dynamic = run_system(config, mix)
+        config.clip = dataclasses.replace(config.clip, dynamic=False)
+        static = run_system(config, mix)
+        # Dynamic CLIP lets more traffic through than static CLIP when
+        # bandwidth is ample.
+        assert dynamic.prefetch.issued >= static.prefetch.issued
+
+
+class TestPageIndexedClip:
+    def test_key_is_page(self):
+        clip = _clip(index_by_page=True)
+        assert clip._key(0x400, 0x12345) == 0x12345 >> 12
+        ip_clip = _clip(index_by_page=False)
+        assert ip_clip._key(0x400, 0x12345) == 0x400
+
+    def test_page_criticality_gates_prefetches(self):
+        clip = _clip(index_by_page=True)
+        page_address = 0x40_0000
+        # Mark the page critical (as L2-miss responses would).
+        for _ in range(4):
+            clip.filter.record_critical(page_address >> 12)
+        clip.predictor.train(
+            clip._signature(page_address >> 12, page_address >> 6), True)
+        # Any trigger IP prefetching into that page passes...
+        allowed, _ = clip.filter_request(0xAAA, page_address + 256, cycle=0)
+        assert allowed
+        # ...while another page is dropped.
+        allowed, _ = clip.filter_request(0xAAA, 0x80_0000, cycle=0)
+        assert not allowed
+
+    def test_end_to_end_with_l2_prefetcher(self):
+        config = scaled_config(num_cores=2, channels=1,
+                               sim_instructions=5_000)
+        config.l2_prefetcher = dataclasses.replace(config.l2_prefetcher,
+                                                   name="spp_ppf")
+        config.clip = dataclasses.replace(config.clip, enabled=True,
+                                          index_by_page=True)
+        result = run_system(config, homogeneous_mix("603.bwaves_s-1740B", 2))
+        assert result.clip is not None
+        assert result.clip.prefetches_seen > 0

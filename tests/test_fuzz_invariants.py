@@ -1,0 +1,89 @@
+"""Property-based fuzzing of the full simulator.
+
+Random small configurations and workload mixes must always run to
+completion with conserved instruction counts, quiescent hardware at the
+end, and deterministic replay -- the invariants that catch lost-wakeup
+deadlocks and MSHR leaks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MulticoreSystem, scaled_config
+from repro.trace.workloads import (GAP_WORKLOADS, SPEC_HOMOGENEOUS_MIXES,
+                                   CLOUDSUITE_WORKLOADS)
+
+_POOL = SPEC_HOMOGENEOUS_MIXES[::9] + GAP_WORKLOADS[::6] \
+    + CLOUDSUITE_WORKLOADS[:1]
+
+_config_strategy = st.fixed_dictionaries({
+    "cores": st.integers(min_value=1, max_value=4),
+    "channels": st.sampled_from([1, 2]),
+    "instructions": st.integers(min_value=200, max_value=1_500),
+    "l1_pf": st.sampled_from(["none", "berti", "ipcp", "stride",
+                              "streamer"]),
+    "l2_pf": st.sampled_from(["none", "spp_ppf", "bingo"]),
+    "clip": st.booleans(),
+    "dynamic": st.booleans(),
+    "criticality": st.sampled_from(["none", "fvp", "crisp"]),
+    "throttle": st.sampled_from(["none", "fdp", "nst"]),
+    "hermes": st.booleans(),
+    "workloads": st.lists(st.sampled_from(_POOL), min_size=4, max_size=4),
+})
+
+
+def _build(params) -> MulticoreSystem:
+    config = scaled_config(num_cores=params["cores"],
+                           channels=params["channels"],
+                           sim_instructions=params["instructions"])
+    config.l1_prefetcher = dataclasses.replace(config.l1_prefetcher,
+                                               name=params["l1_pf"])
+    config.l2_prefetcher = dataclasses.replace(config.l2_prefetcher,
+                                               name=params["l2_pf"])
+    config.clip = dataclasses.replace(config.clip, enabled=params["clip"],
+                                      dynamic=params["dynamic"])
+    config.criticality.name = params["criticality"]
+    config.throttle.name = params["throttle"]
+    config.related = dataclasses.replace(config.related,
+                                         hermes=params["hermes"])
+    mix = params["workloads"][:params["cores"]]
+    return MulticoreSystem(config, mix)
+
+
+@given(_config_strategy)
+@settings(max_examples=25, deadline=None)
+def test_random_configurations_complete_cleanly(params):
+    system = _build(params)
+    result = system.run(max_cycles=5_000_000)
+    # Instruction conservation.
+    assert all(core.instructions == params["instructions"]
+               for core in result.cores)
+    # Quiescence: no leaked MSHRs, queues, or in-flight DRAM work.
+    for node in system.nodes:
+        assert not node.l1_mshr.entries and not node.l1_mshr.pending
+        assert not node.l2_mshr.entries and not node.l2_mshr.pending
+    for mshr_file in system.llc_mshr:
+        assert not mshr_file.entries and not mshr_file.pending
+    for channel in system.dram.channels:
+        assert channel.in_flight == 0
+        assert not channel.read_queue
+    assert all(core.outstanding_loads == 0 for core in system.cores)
+    # Sanity of aggregate statistics.
+    assert result.total_cycles > 0
+    assert 0.0 <= result.prefetch.accuracy <= 1.0
+    assert 0.0 <= result.dram.utilization <= 1.0
+
+
+@given(_config_strategy)
+@settings(max_examples=8, deadline=None)
+def test_replay_is_deterministic(params):
+    first = _build(params).run(max_cycles=5_000_000)
+    second = _build(params).run(max_cycles=5_000_000)
+    assert first.total_cycles == second.total_cycles
+    assert first.ipc_per_core == second.ipc_per_core
+    assert first.prefetch.issued == second.prefetch.issued
+    assert first.dram.reads == second.dram.reads

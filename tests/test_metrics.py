@@ -1,0 +1,79 @@
+"""Tests for the derived-metrics helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import run_system, scaled_config
+from repro.sim.metrics import (aggregate_ipc, compare_schemes,
+                               harmonic_mean_ipc, mpki,
+                               prefetch_traffic_share, summarize)
+from repro.sim.stats import (CoreResult, DramResult, LevelStats,
+                             SimulationResult)
+from repro.trace import homogeneous_mix
+
+
+def _result(ipcs, l1_misses=100) -> SimulationResult:
+    result = SimulationResult(config_label="m")
+    for i, ipc in enumerate(ipcs):
+        result.cores.append(CoreResult(
+            core_id=i, workload="w", instructions=1000,
+            cycles=int(1000 / ipc), loads=250, stores=20, branches=100,
+            mispredicts=10, head_stall_cycles=0, head_stall_cycles_miss=0,
+            critical_load_instances=0, load_instances_beyond_l1=0))
+    result.levels = {
+        "L1D": LevelStats("L1D", demand_misses=l1_misses),
+        "L2": LevelStats("L2", demand_misses=l1_misses // 2),
+        "LLC": LevelStats("LLC", demand_misses=l1_misses // 4),
+    }
+    result.dram = DramResult(reads=80, prefetch_reads=20)
+    return result
+
+
+class TestScalarMetrics:
+    def test_aggregate_ipc(self):
+        assert aggregate_ipc(_result([0.5, 0.5])) == pytest.approx(1.0)
+
+    def test_harmonic_mean_punishes_imbalance(self):
+        balanced = harmonic_mean_ipc(_result([0.5, 0.5]))
+        skewed = harmonic_mean_ipc(_result([0.9, 0.1]))
+        assert skewed < balanced
+
+    def test_mpki(self):
+        result = _result([1.0], l1_misses=50)
+        assert mpki(result, "L1D") == pytest.approx(50.0)
+        assert mpki(result, "LLC") == pytest.approx(12.0)
+
+    def test_mpki_unknown_level(self):
+        with pytest.raises(ValueError, match="unknown cache level"):
+            mpki(_result([1.0]), "L9")
+
+    def test_traffic_share(self):
+        assert prefetch_traffic_share(_result([1.0])) == pytest.approx(0.25)
+
+    def test_summarize_keys(self):
+        summary = summarize(_result([1.0]))
+        for key in ("aggregate_ipc", "l1_mpki", "prefetch_accuracy",
+                    "dram_utilization"):
+            assert key in summary
+
+
+class TestCompareSchemes:
+    def test_rows_and_speedups(self):
+        results = {"none": _result([0.5, 0.5]), "fast": _result([1.0, 1.0])}
+        rows = compare_schemes(results, baseline="none")
+        by_scheme = {row["scheme"]: row for row in rows}
+        assert by_scheme["none"]["weighted_speedup"] == pytest.approx(1.0)
+        assert by_scheme["fast"]["weighted_speedup"] == pytest.approx(2.0)
+
+    def test_missing_baseline(self):
+        with pytest.raises(ValueError, match="baseline"):
+            compare_schemes({"a": _result([1.0])}, baseline="none")
+
+    def test_on_real_simulation(self):
+        config = scaled_config(num_cores=2, channels=1,
+                               sim_instructions=1_500)
+        result = run_system(config, homogeneous_mix("605.mcf_s-1536B", 2))
+        summary = summarize(result)
+        assert summary["l1_mpki"] > 0
+        assert 0 <= summary["dram_utilization"] <= 1

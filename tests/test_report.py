@@ -1,0 +1,54 @@
+"""Tests for the markdown report renderer."""
+
+from __future__ import annotations
+
+from repro import run_system, scaled_config
+from repro.experiments.report import comparison_report, run_report
+from repro.sim.tracing import RequestTrace, RequestRecord
+from repro.cpu.core_model import ServiceLevel
+from repro.trace import homogeneous_mix
+
+
+def _run(prefetcher="none", clip=False):
+    config = scaled_config(num_cores=2, channels=1, sim_instructions=1_200)
+    config.l1_prefetcher.name = prefetcher
+    config.clip.enabled = clip
+    return run_system(config, homogeneous_mix("605.mcf_s-1536B", 2))
+
+
+class TestRunReport:
+    def test_sections_present(self):
+        text = run_report(_run(), title="T")
+        for needle in ("# T", "## Headline metrics", "## Per-core",
+                       "## Cache levels"):
+            assert needle in text
+
+    def test_clip_section_when_enabled(self):
+        text = run_report(_run("berti", clip=True))
+        assert "## CLIP" in text
+        assert "prediction accuracy" in text
+
+    def test_no_clip_section_when_disabled(self):
+        assert "## CLIP" not in run_report(_run())
+
+    def test_latency_section_with_trace(self):
+        trace = RequestTrace()
+        trace.append(RequestRecord(0, 0x1000, 0, 100, ServiceLevel.DRAM,
+                                   False))
+        text = run_report(_run(), trace=trace)
+        assert "## Demand-load latency" in text
+        assert "p99" in text
+
+    def test_tables_are_markdown(self):
+        text = run_report(_run())
+        assert "| metric | value |" in text
+        assert "|---|---|" in text
+
+
+class TestComparisonReport:
+    def test_rows_per_scheme(self):
+        results = {"none": _run(), "berti": _run("berti")}
+        text = comparison_report(results)
+        assert "| none |" in text
+        assert "| berti |" in text
+        assert "weighted_speedup" in text

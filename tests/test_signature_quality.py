@@ -1,0 +1,54 @@
+"""Statistical quality tests for the critical signature hash."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.signature import critical_signature
+
+
+class TestDistribution:
+    def test_regions_spread_over_sets(self):
+        """Concurrent loads must scatter across predictor sets (the paper's
+        section 4.3 aliasing argument)."""
+        sets = Counter()
+        for region in range(512):
+            signature = critical_signature(0x400, region << 14, 0xABC, 0x3)
+            sets[signature % 128] += 1
+        # No set receives a pathological share.
+        assert max(sets.values()) < 20
+        assert len(sets) > 100
+
+    def test_ips_spread_over_sets(self):
+        sets = Counter()
+        for ip in range(0x400, 0x400 + 512 * 4, 4):
+            signature = critical_signature(ip, 0x100000, 0, 0)
+            sets[signature % 128] += 1
+        assert len(sets) > 100
+
+    def test_history_bits_change_roughly_half_the_output(self):
+        flips = Counter()
+        for history in range(256):
+            base = critical_signature(0x400, 0x100000, history, 0)
+            flipped = critical_signature(0x400, 0x100000, history ^ 1, 0)
+            flips[bin(base ^ flipped).count("1")] += 1
+        average = sum(k * v for k, v in flips.items()) / 256
+        assert 2 < average < 12  # avalanche over the 13-bit output
+
+    @given(st.integers(0, 1 << 48), st.integers(0, 1 << 48),
+           st.integers(0, (1 << 32) - 1), st.integers(0, (1 << 32) - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_range_invariant(self, ip, address, bhr, chr_):
+        signature = critical_signature(ip, address, bhr, chr_)
+        assert 0 <= signature < (1 << 13)
+
+    @given(st.integers(0, 1 << 40))
+    @settings(max_examples=50, deadline=None)
+    def test_lines_within_region_collide_on_purpose(self, base):
+        region = (base >> 8) << 8
+        signatures = {critical_signature(0x400, region | offset, 0x5, 0x2)
+                      for offset in range(0, 256, 17)}
+        assert len(signatures) == 1

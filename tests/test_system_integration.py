@@ -1,0 +1,237 @@
+"""Integration tests: the full multi-core system end to end."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import (MulticoreSystem, run_system, scaled_config,
+                   weighted_speedup)
+from repro.trace import heterogeneous_mixes, homogeneous_mix
+
+
+def _config(prefetcher="none", clip=False, cores=2, channels=1,
+            instructions=1_500, **kw):
+    config = scaled_config(num_cores=cores, channels=channels,
+                           sim_instructions=instructions)
+    config.l1_prefetcher = dataclasses.replace(config.l1_prefetcher,
+                                               name=prefetcher)
+    config.clip.enabled = clip
+    for key, value in kw.items():
+        setattr(config, key, value)
+    return config
+
+
+class TestBasicRuns:
+    def test_all_cores_retire_all_instructions(self):
+        config = _config(cores=4)
+        result = run_system(config, homogeneous_mix("605.mcf_s-1536B", 4))
+        assert all(core.instructions == config.sim_instructions
+                   for core in result.cores)
+
+    def test_deterministic_results(self):
+        config = _config(cores=2, prefetcher="berti")
+        mix = homogeneous_mix("603.bwaves_s-1740B", 2)
+        a = run_system(config, mix)
+        b = run_system(_config(cores=2, prefetcher="berti"), mix)
+        assert a.total_cycles == b.total_cycles
+        assert a.ipc_per_core == b.ipc_per_core
+        assert a.prefetch.issued == b.prefetch.issued
+
+    def test_mix_length_validation(self):
+        with pytest.raises(ValueError, match="workloads for"):
+            MulticoreSystem(_config(cores=4), ["605.mcf_s-1536B"] * 3)
+
+    def test_heterogeneous_mix_runs(self):
+        mix = heterogeneous_mixes(1, 2, seed=11)[0]
+        result = run_system(_config(cores=2), mix)
+        assert result.total_instructions == 2 * 1_500
+        assert [c.workload for c in result.cores] == mix
+
+    def test_labels(self):
+        config = _config(prefetcher="berti", clip=True)
+        system = MulticoreSystem(config,
+                                 homogeneous_mix("605.mcf_s-1536B", 2))
+        assert system.label == "berti+clip"
+
+
+class TestMemoryHierarchyBehaviour:
+    def test_demand_misses_reach_dram(self):
+        result = run_system(_config(cores=2),
+                            homogeneous_mix("619.lbm_s-2676B", 2))
+        assert result.dram.reads > 0
+        assert result.levels["L1D"].demand_misses > 0
+        assert result.levels["LLC"].demand_misses > 0
+
+    def test_store_heavy_workload_writes_back(self):
+        # lbm streams stores; dirty evictions must reach DRAM as writes.
+        # Tiny L2 + LLC force the dirty data through the full writeback
+        # path (L1 -> L2 -> LLC -> DRAM) within the short run.
+        config = _config(cores=2, instructions=4_000)
+        config.l2 = dataclasses.replace(config.l2, size_kib=16)
+        config.llc_slice = dataclasses.replace(config.llc_slice,
+                                               size_kib=16)
+        result = run_system(config, homogeneous_mix("619.lbm_s-2676B", 2))
+        assert result.dram.writes > 0
+
+    def test_hierarchy_conservation(self):
+        """Demand accesses shrink monotonically down the hierarchy."""
+        result = run_system(_config(cores=2),
+                            homogeneous_mix("605.mcf_s-1536B", 2))
+        l1 = result.levels["L1D"]
+        l2 = result.levels["L2"]
+        llc = result.levels["LLC"]
+        assert l1.demand_accesses >= l1.demand_misses
+        assert l2.demand_accesses <= l1.demand_misses
+        assert llc.demand_accesses <= l2.demand_misses + 10
+
+    def test_more_channels_never_slower(self):
+        mix = homogeneous_mix("603.bwaves_s-1740B", 4)
+        slow = run_system(_config(cores=4, channels=1), mix)
+        fast = run_system(_config(cores=4, channels=8), mix)
+        assert fast.total_cycles <= slow.total_cycles
+        assert fast.average_l1_miss_latency() \
+            <= slow.average_l1_miss_latency()
+
+    def test_noc_carries_traffic(self):
+        result = run_system(_config(cores=4),
+                            homogeneous_mix("605.mcf_s-1536B", 4))
+        assert result.noc.packets > 0
+        assert result.noc.average_latency > 0
+
+    def test_miss_latency_ordering(self):
+        """Loads serviced deeper must, on average, have waited longer."""
+        result = run_system(_config(cores=2),
+                            homogeneous_mix("605.mcf_s-1536B", 2))
+        l1 = result.levels["L1D"].average_miss_latency
+        assert l1 > 15  # At least the L1+L2 lookup pipeline.
+
+
+class TestPrefetchingIntegration:
+    def test_berti_issues_and_hits(self):
+        result = run_system(
+            _config(cores=2, prefetcher="berti", instructions=6_000),
+            homogeneous_mix("603.bwaves_s-1740B", 2))
+        assert result.prefetch.issued > 0
+        assert result.prefetch.useful > 0
+
+    def test_prefetches_marked_in_dram_stats(self):
+        result = run_system(
+            _config(cores=2, prefetcher="berti", instructions=6_000),
+            homogeneous_mix("603.bwaves_s-1740B", 2))
+        assert result.dram.prefetch_reads > 0
+
+    def test_clip_reduces_prefetch_traffic(self):
+        mix = homogeneous_mix("605.mcf_s-1536B", 2)
+        berti = run_system(
+            _config(cores=2, prefetcher="berti", instructions=6_000), mix)
+        clip = run_system(
+            _config(cores=2, prefetcher="berti", clip=True,
+                    instructions=6_000), mix)
+        assert clip.prefetch.issued < berti.prefetch.issued
+        assert clip.clip is not None
+        assert clip.clip.prefetches_seen >= clip.clip.prefetches_allowed
+
+    def test_l2_prefetcher_path(self):
+        config = _config(cores=2, instructions=6_000)
+        config.l2_prefetcher = dataclasses.replace(config.l2_prefetcher,
+                                                   name="spp_ppf")
+        result = run_system(config, homogeneous_mix("603.bwaves_s-1740B", 2))
+        assert result.prefetch.issued > 0
+
+    def test_weighted_speedup_identity(self):
+        config = _config(cores=2)
+        mix = homogeneous_mix("605.mcf_s-1536B", 2)
+        result = run_system(config, mix)
+        again = run_system(_config(cores=2), mix)
+        assert weighted_speedup(result, again) == pytest.approx(1.0)
+
+
+class TestHermesAndDspatchIntegration:
+    def test_hermes_runs_and_trains(self):
+        config = _config(cores=2, prefetcher="berti", instructions=4_000)
+        config.related = dataclasses.replace(config.related, hermes=True)
+        system = MulticoreSystem(config,
+                                 homogeneous_mix("605.mcf_s-1536B", 2))
+        result = system.run()
+        hermes = system.nodes[0].hermes
+        assert hermes is not None and hermes.predictions > 0
+        assert all(core.instructions == 4_000 for core in result.cores)
+
+    def test_dspatch_runs(self):
+        config = _config(cores=2, prefetcher="berti", instructions=4_000)
+        config.related = dataclasses.replace(config.related, dspatch=True)
+        result = run_system(config, homogeneous_mix("605.mcf_s-1536B", 2))
+        assert all(core.instructions == 4_000 for core in result.cores)
+
+
+class TestThrottlerIntegration:
+    def test_fdp_attached_and_deciding(self):
+        config = _config(cores=2, prefetcher="stride", instructions=6_000)
+        config.throttle.name = "fdp"
+        system = MulticoreSystem(config,
+                                 homogeneous_mix("619.lbm_s-2676B", 2))
+        system.run()
+        assert system.nodes[0].throttler is not None
+        assert system.nodes[0].throttler.decisions > 0
+
+
+class TestInvariants:
+    def test_no_mshr_leak(self):
+        config = _config(cores=2, prefetcher="berti", clip=True,
+                         instructions=4_000)
+        system = MulticoreSystem(config,
+                                 homogeneous_mix("605.mcf_s-1536B", 2))
+        system.run()
+        for node in system.nodes:
+            assert not node.l1_mshr.entries, "leaked L1 MSHRs"
+            assert not node.l2_mshr.entries, "leaked L2 MSHRs"
+            assert not node.l1_mshr.pending
+            assert not node.l2_mshr.pending
+        for mshr_file in system.llc_mshr:
+            assert not mshr_file.entries, "leaked LLC MSHRs"
+
+    def test_outstanding_loads_zero_at_end(self):
+        config = _config(cores=2, prefetcher="berti", instructions=3_000)
+        system = MulticoreSystem(config,
+                                 homogeneous_mix("603.bwaves_s-1740B", 2))
+        system.run()
+        assert all(core.outstanding_loads == 0 for core in system.cores)
+
+    def test_dram_quiescent_at_end(self):
+        config = _config(cores=2, prefetcher="berti", instructions=3_000)
+        system = MulticoreSystem(config,
+                                 homogeneous_mix("619.lbm_s-2676B", 2))
+        system.run()
+        for channel in system.dram.channels:
+            assert channel.in_flight == 0
+            assert not channel.read_queue
+
+
+class TestWarmup:
+    def test_warmup_excluded_from_stats(self):
+        config = _config(cores=2, instructions=2_000)
+        config.warmup_instructions = 1_000
+        result = run_system(config, homogeneous_mix("605.mcf_s-1536B", 2))
+        # Only post-warmup instructions are counted...
+        assert all(core.instructions == 2_000 for core in result.cores)
+        # ...over a post-warmup cycle window.
+        cold = run_system(_config(cores=2, instructions=2_000),
+                          homogeneous_mix("605.mcf_s-1536B", 2))
+        assert all(core.cycles > 0 for core in result.cores)
+        assert result.cores[0].cycles < cold.cores[0].cycles * 2
+
+    def test_warmed_caches_raise_hit_rate(self):
+        mix = homogeneous_mix("605.mcf_s-1536B", 2)
+        cold = run_system(_config(cores=2, instructions=2_000), mix)
+        config = _config(cores=2, instructions=2_000)
+        config.warmup_instructions = 3_000
+        warm = run_system(config, mix)
+        cold_rate = (cold.levels["L1D"].demand_hits
+                     / max(1, cold.levels["L1D"].demand_accesses))
+        warm_rate = (warm.levels["L1D"].demand_hits
+                     / max(1, warm.levels["L1D"].demand_accesses))
+        # Memory-side stats are cumulative, but the warm run's longer
+        # history still lifts the overall hit rate.
+        assert warm_rate >= cold_rate - 0.05

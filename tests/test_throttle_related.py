@@ -1,0 +1,187 @@
+"""Tests for throttlers, Hermes, and DSPatch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.prefetch.base import PrefetchRequest
+from repro.related import DspatchModulator, HermesPredictor
+from repro.throttle import (FdpThrottler, HpacThrottler, NstThrottler,
+                            SpacThrottler, ThrottleSnapshot, make_throttler,
+                            throttler_names)
+from repro.throttle.base import AGGRESSIVENESS_SCALES
+
+
+def _snapshot(accuracy=0.9, lateness=0.0, pollution=0.0,
+              dram_utilization=0.5, mshr_occupancy=0.5,
+              issued=100) -> ThrottleSnapshot:
+    return ThrottleSnapshot(accuracy=accuracy, lateness=lateness,
+                            pollution=pollution,
+                            dram_utilization=dram_utilization,
+                            mshr_occupancy=mshr_occupancy, issued=issued)
+
+
+class TestFactory:
+    def test_names(self):
+        assert throttler_names() == ["fdp", "hpac", "nst", "spac"]
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_throttler("pid")
+
+
+class TestFdp:
+    def test_accurate_timely_untouched(self):
+        fdp = FdpThrottler()
+        start = fdp.scale
+        for _ in range(10):
+            fdp.decide(_snapshot(accuracy=0.95))
+        assert fdp.scale == start
+
+    def test_accurate_but_late_increases(self):
+        fdp = FdpThrottler()
+        fdp.decide(_snapshot(accuracy=0.95, lateness=0.5))
+        assert fdp.scale > 1.0
+
+    def test_inaccurate_decreases(self):
+        fdp = FdpThrottler()
+        for _ in range(5):
+            fdp.decide(_snapshot(accuracy=0.2))
+        assert fdp.scale == AGGRESSIVENESS_SCALES[0]
+
+    def test_no_issues_no_change(self):
+        fdp = FdpThrottler()
+        before = fdp.scale
+        fdp.decide(_snapshot(accuracy=0.0, issued=0))
+        assert fdp.scale == before
+
+    def test_level_clamped(self):
+        fdp = FdpThrottler()
+        for _ in range(20):
+            fdp.decide(_snapshot(accuracy=0.95, lateness=0.9))
+        assert fdp.scale == AGGRESSIVENESS_SCALES[-1]
+
+
+class TestHpac:
+    def test_global_override_throttles_harder(self):
+        solo = FdpThrottler()
+        hpac = HpacThrottler()
+        snap = _snapshot(accuracy=0.5, dram_utilization=0.95)
+        solo_scale = solo.decide(snap)
+        hpac_scale = hpac.decide(snap)
+        assert hpac_scale < solo_scale
+
+    def test_no_override_at_low_bandwidth_use(self):
+        hpac = HpacThrottler()
+        scale = hpac.decide(_snapshot(accuracy=0.5, dram_utilization=0.2))
+        assert scale >= AGGRESSIVENESS_SCALES[2]
+
+
+class TestSpac:
+    def test_high_utility_ramps_up(self):
+        spac = SpacThrottler()
+        for _ in range(10):
+            spac.decide(_snapshot(accuracy=0.95, dram_utilization=0.1))
+        assert spac.scale > 1.0
+
+    def test_low_utility_under_contention_backs_off(self):
+        spac = SpacThrottler()
+        for _ in range(10):
+            spac.decide(_snapshot(accuracy=0.4, dram_utilization=1.0))
+        assert spac.scale < 1.0
+
+
+class TestNst:
+    def test_congested_near_side_backs_off(self):
+        nst = NstThrottler()
+        nst.decide(_snapshot(mshr_occupancy=0.9))
+        assert nst.scale < 1.0
+
+    def test_idle_near_side_ramps_up(self):
+        nst = NstThrottler()
+        nst.decide(_snapshot(mshr_occupancy=0.1, accuracy=0.8))
+        assert nst.scale > 1.0
+
+    def test_moderate_occupancy_stable(self):
+        nst = NstThrottler()
+        before = nst.scale
+        nst.decide(_snapshot(mshr_occupancy=0.5))
+        assert nst.scale == before
+
+
+class TestHermes:
+    def test_learns_offchip_ips(self):
+        hermes = HermesPredictor()
+        for i in range(60):
+            hermes.train(0x400, 0x100000 + i * 64, went_offchip=True)
+        assert hermes.predict_offchip(0x400, 0x100000 + 60 * 64)
+
+    def test_learns_onchip_ips(self):
+        hermes = HermesPredictor()
+        for i in range(60):
+            hermes.train(0x500, 0x200000 + i * 64, went_offchip=False)
+        assert not hermes.predict_offchip(0x500, 0x200000)
+
+    def test_accuracy_tracked(self):
+        hermes = HermesPredictor()
+        for i in range(50):
+            hermes.predict_offchip(0x400, i * 64)
+            hermes.train(0x400, i * 64, went_offchip=False)
+        assert 0.0 <= hermes.accuracy <= 1.0
+
+    def test_confident_correct_skips_update(self):
+        hermes = HermesPredictor()
+        for i in range(200):
+            hermes.train(0x400, 0x1000, went_offchip=True)
+        score = hermes._score(0x400, 0x1000)
+        hermes.train(0x400, 0x1000, went_offchip=True)
+        assert hermes._score(0x400, 0x1000) == score
+
+
+class TestDspatch:
+    def _train(self, dspatch, utilization):
+        # More pages than the tracker holds, so generations retire into the
+        # pattern store (retirement happens on page-buffer eviction).
+        offsets = [0, 1, 4, 9]
+        for page in range(DspatchModulator.MAX_PAGES + 40):
+            base = page << 12
+            for offset in offsets:
+                dspatch.observe(0x400, base + offset * 64,
+                                lambda a: utilization)
+        return offsets
+
+    def test_replays_pattern_after_training(self):
+        dspatch = DspatchModulator()
+        offsets = self._train(dspatch, utilization=0.0)
+        requests = dspatch.observe(0x400, (999 << 12), lambda a: 0.0)
+        assert requests
+        predicted = {(r.address >> 6) & 0x3F for r in requests}
+        assert predicted <= set(offsets)
+
+    def test_mode_counters(self):
+        dspatch = DspatchModulator()
+        self._train(dspatch, utilization=0.0)
+        dspatch.observe(0x400, (999 << 12), lambda a: 0.0)
+        assert dspatch.coverage_mode_uses >= 1
+        dspatch.observe(0x400, (1000 << 12), lambda a: 0.99)
+        assert dspatch.accuracy_mode_uses >= 1
+
+    def test_accuracy_mode_filters_low_confidence(self):
+        dspatch = DspatchModulator()
+        candidates = [
+            PrefetchRequest(address=0x1000, fill_level=2, trigger_ip=1,
+                            confidence=0.9),
+            PrefetchRequest(address=0x2000, fill_level=2, trigger_ip=1,
+                            confidence=0.3),
+        ]
+        kept = dspatch.filter_candidates(candidates, lambda a: 0.99)
+        assert len(kept) == 1 and kept[0].confidence == 0.9
+
+    def test_coverage_mode_keeps_everything(self):
+        dspatch = DspatchModulator()
+        candidates = [
+            PrefetchRequest(address=0x1000, fill_level=2, trigger_ip=1,
+                            confidence=0.1),
+        ]
+        kept = dspatch.filter_candidates(candidates, lambda a: 0.0)
+        assert len(kept) == 1

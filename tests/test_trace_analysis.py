@@ -1,0 +1,89 @@
+"""Tests for the workload characterisation tool."""
+
+from __future__ import annotations
+
+from repro.trace import Op, SyntheticWorkload, TraceRecord, get_workload
+from repro.trace.analysis import format_profile, profile_trace
+
+
+def _stride_trace(n=100, stride=64):
+    return [TraceRecord(0x400, Op.LOAD, address=0x1000 + i * stride,
+                        dst=1) for i in range(n)]
+
+
+class TestProfileBasics:
+    def test_counts(self):
+        trace = [
+            TraceRecord(0x400, Op.LOAD, address=0x1000, dst=1),
+            TraceRecord(0x404, Op.STORE, address=0x1040, srcs=(1,)),
+            TraceRecord(0x408, Op.BRANCH, taken=True),
+            TraceRecord(0x40C, Op.ALU, dst=2),
+        ]
+        profile = profile_trace(trace)
+        assert (profile.loads, profile.stores, profile.branches) == (1, 1, 1)
+        assert profile.load_ratio == 0.25
+        assert profile.unique_lines == 2
+
+    def test_strided_ip_detected(self):
+        profile = profile_trace(_stride_trace())
+        ip_profile = profile.ip_profiles[0x400]
+        assert ip_profile.strided
+        assert ip_profile.dominant_delta == 64
+        assert profile.strided_load_share == 1.0
+
+    def test_random_ip_not_strided(self):
+        import random
+        rng = random.Random(4)
+        trace = [TraceRecord(0x500, Op.LOAD,
+                             address=rng.randrange(1, 1 << 20) * 64, dst=1)
+                 for _ in range(200)]
+        profile = profile_trace(trace)
+        assert not profile.ip_profiles[0x500].strided
+
+    def test_chase_links_counted(self):
+        trace = [TraceRecord(0x600, Op.LOAD, address=0x1000, dst=7)]
+        trace += [TraceRecord(0x600, Op.LOAD, address=0x2000 + i * 64,
+                              dst=7, srcs=(7,)) for i in range(10)]
+        profile = profile_trace(trace)
+        assert profile.dependent_loads == 10
+
+    def test_hot_ip_count(self):
+        trace = _stride_trace(n=90)
+        trace += [TraceRecord(0x900 + i, Op.LOAD, address=0x90000 + i * 64,
+                              dst=1) for i in range(10)]
+        profile = profile_trace(trace)
+        assert profile.hot_ip_count == 1
+
+    def test_reuse_factor_streaming_vs_hot(self):
+        streaming = profile_trace(_stride_trace())
+        hot = profile_trace([TraceRecord(0x400, Op.LOAD, address=0x1000,
+                                         dst=1)] * 100)
+        assert streaming.reuse_factor < hot.reuse_factor
+
+    def test_empty_trace(self):
+        profile = profile_trace([])
+        assert profile.load_ratio == 0.0
+        assert profile.reuse_factor == 0.0
+
+
+class TestProfileOnModels:
+    def test_mcf_profile_matches_character(self):
+        trace = SyntheticWorkload(
+            get_workload("605.mcf_s-1536B")).generate(5_000)
+        profile = profile_trace(trace)
+        assert profile.dependent_loads > 10
+        assert profile.hot_ip_count < 20
+
+    def test_bwaves_profile_is_strided(self):
+        trace = SyntheticWorkload(
+            get_workload("603.bwaves_s-1740B")).generate(5_000)
+        profile = profile_trace(trace)
+        assert profile.strided_load_share > 0.1
+
+    def test_format_is_complete(self):
+        trace = SyntheticWorkload(
+            get_workload("619.lbm_s-2676B")).generate(2_000)
+        text = format_profile(profile_trace(trace), name="lbm")
+        for needle in ("workload: lbm", "load ratio", "footprint span",
+                       "strided load share"):
+            assert needle in text

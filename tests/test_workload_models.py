@@ -1,0 +1,140 @@
+"""Behavioural checks of the named workload models.
+
+Each benchmark family must exhibit its signature memory character in the
+generated instruction stream -- these are the properties the substitution
+argument in DESIGN.md section 2 rests on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.trace import (CLOUDSUITE_WORKLOADS, GAP_WORKLOADS, Op,
+                         SyntheticWorkload, get_workload)
+
+_LENGTH = 6_000
+
+
+def _trace(name: str):
+    return SyntheticWorkload(get_workload(name)).generate(_LENGTH)
+
+
+def _loads(trace):
+    return [r for r in trace if r.op == Op.LOAD]
+
+
+def _unique_line_fraction(loads) -> float:
+    lines = [r.address >> 6 for r in loads]
+    return len(set(lines)) / max(1, len(lines))
+
+
+def _footprint_bytes(loads) -> int:
+    lines = {r.address >> 6 for r in loads}
+    return len(lines) * 64
+
+
+class TestMcfFamily:
+    def test_pointer_serialisation_present(self):
+        trace = _trace("605.mcf_s-1536B")
+        chased = [r for r in _loads(trace) if r.srcs == (r.dst,)]
+        assert len(chased) > 20
+
+    def test_large_footprint(self):
+        loads = _loads(_trace("605.mcf_s-1536B"))
+        addresses = [r.address for r in loads]
+        # The pointer chase ranges over a multi-MiB structure even though a
+        # short trace only samples part of it.
+        assert max(addresses) - min(addresses) > 1 << 21
+
+    def test_hot_working_set_dominates_accesses(self):
+        loads = _loads(_trace("605.mcf_s-1536B"))
+        counts = Counter(r.address >> 6 for r in loads)
+        hot = sum(c for _, c in counts.most_common(len(counts) // 10 or 1))
+        assert hot / len(loads) > 0.3
+
+
+class TestLbmFamily:
+    def test_streaming_stores(self):
+        trace = _trace("619.lbm_s-2676B")
+        stores = [r for r in trace if r.op == Op.STORE]
+        assert len(stores) / len(trace) > 0.02
+        # Stores walk forward (streaming), not random.
+        deltas = [b.address - a.address
+                  for a, b in zip(stores, stores[1:])]
+        forward = sum(1 for d in deltas if 0 < d <= 4096)
+        assert forward / len(deltas) > 0.5
+
+    def test_memory_intensity_above_integer_codes(self):
+        lbm_loads = len(_loads(_trace("619.lbm_s-2676B")))
+        gcc_loads = len(_loads(_trace("602.gcc_s-1850B")))
+        lbm_unique = _unique_line_fraction(_loads(_trace("619.lbm_s-2676B")))
+        gcc_unique = _unique_line_fraction(_loads(_trace("602.gcc_s-1850B")))
+        assert lbm_unique > gcc_unique
+
+
+class TestHpcFamilies:
+    def test_bwaves_has_strided_streams(self):
+        loads = _loads(_trace("603.bwaves_s-1740B"))
+        per_ip = {}
+        for record in loads:
+            per_ip.setdefault(record.ip, []).append(record.address)
+        stride_ips = 0
+        for addresses in per_ip.values():
+            if len(addresses) < 10:
+                continue
+            deltas = Counter(b - a for a, b in zip(addresses,
+                                                   addresses[1:]))
+            top_delta, top_count = deltas.most_common(1)[0]
+            if top_delta != 0 and top_count / len(addresses) > 0.5:
+                stride_ips += 1
+        assert stride_ips >= 2
+
+    def test_cactu_uses_long_strides(self):
+        spec = get_workload("607.cactuBSSN_s-2421B")
+        strides = {s.stride for s in spec.streams if s.kind == "stride"}
+        assert any(stride >= 256 for stride in strides)
+
+
+class TestIrregularIntFamilies:
+    def test_gcc_has_phases(self):
+        assert get_workload("602.gcc_s-1850B").phases > 1
+
+    def test_branch_density_higher_than_hpc(self):
+        gcc = _trace("602.gcc_s-1850B")
+        lbm = _trace("619.lbm_s-2676B")
+        gcc_branches = sum(1 for r in gcc if r.op == Op.BRANCH) / len(gcc)
+        lbm_branches = sum(1 for r in lbm if r.op == Op.BRANCH) / len(lbm)
+        assert gcc_branches > lbm_branches * 0.8
+
+
+class TestGapFamily:
+    def test_irregular_low_stride_coverage(self):
+        for name in GAP_WORKLOADS[:2]:
+            loads = _loads(_trace(name))
+            deltas = Counter(b.address - a.address
+                             for a, b in zip(loads, loads[1:]))
+            _, top_count = deltas.most_common(1)[0]
+            # No single delta dominates an irregular graph workload.
+            assert top_count / len(loads) < 0.5
+
+
+class TestCloudFamily:
+    def test_cache_resident_majority(self):
+        """Cloud workloads re-touch a small set (prefetchers find little)."""
+        for name in CLOUDSUITE_WORKLOADS[:2]:
+            loads = _loads(_trace(name))
+            assert _unique_line_fraction(loads) < 0.5
+
+
+class TestCrossFamily:
+    def test_simpoints_same_family_differ_in_addresses(self):
+        a = _loads(_trace("605.mcf_s-1536B"))
+        b = _loads(_trace("605.mcf_s-472B"))
+        assert {r.address for r in a} != {r.address for r in b}
+
+    def test_all_models_generate_loads_and_branches(self):
+        for name in ["600.perlbench_s-570B", "628.pop2_s-17B", "bfs-14",
+                     "server_013", "657.xz_s-1306B"]:
+            trace = _trace(name)
+            kinds = {r.op for r in trace}
+            assert Op.LOAD in kinds and Op.BRANCH in kinds
