@@ -1,0 +1,144 @@
+"""Baseline suppression file for the lint passes.
+
+New rules land against an existing codebase; the baseline file
+(``analysis-baseline.toml`` at the repo root) records every *accepted*
+pre-existing violation so the lint gate can be red-for-new-violations
+from day one while the backlog is burned down incrementally.
+
+Format -- one array of fingerprints per rule::
+
+    # analysis-baseline.toml
+    [suppressions]
+    SIM002 = [
+        "src/repro/sim/engine.py::Engine.run",
+    ]
+
+A fingerprint is ``<path>::<scope>`` (scope = dotted class/function
+qualname, or ``<module>``), deliberately *line-number free*: unrelated
+edits moving code around a file do not invalidate the baseline, while
+moving the violation to a different function surfaces it again.
+
+``python -m repro.analysis --write-baseline`` regenerates the file from
+the current findings.  Parsing uses :mod:`tomllib` when available
+(Python >= 3.11) and falls back to a minimal parser for the restricted
+subset this module itself emits, keeping Python 3.10 supported without
+third-party TOML dependencies.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Set
+
+from repro.analysis.framework import Violation
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - 3.10 fallback
+    tomllib = None  # type: ignore[assignment]
+
+_HEADER = """\
+# Lint baseline: accepted pre-existing violations, one list per rule.
+# Entries are "<path>::<scope>" fingerprints (line-number independent).
+# Regenerate with: python -m repro.analysis --write-baseline
+# Burn-down: fix a violation, then delete its entry (or regenerate).
+"""
+
+
+class Baseline:
+    """Suppressions keyed by rule id."""
+
+    def __init__(self,
+                 suppressions: Dict[str, Set[str]] | None = None) -> None:
+        self.suppressions: Dict[str, Set[str]] = suppressions or {}
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        return violation.fingerprint in self.suppressions.get(
+            violation.rule_id, ())
+
+    @property
+    def entry_count(self) -> int:
+        return sum(len(v) for v in self.suppressions.values())
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load ``path``; a missing file yields an empty baseline."""
+        if not path.is_file():
+            return cls()
+        text = path.read_text()
+        if tomllib is not None:
+            data = tomllib.loads(text)
+            raw = data.get("suppressions", {})
+        else:  # pragma: no cover - exercised only on Python 3.10
+            raw = _parse_restricted_toml(text)
+        suppressions: Dict[str, Set[str]] = {}
+        for rule_id, fingerprints in raw.items():
+            if not isinstance(fingerprints, list):
+                raise ValueError(
+                    f"baseline entry {rule_id!r} must be a list of "
+                    f"fingerprints")
+            suppressions[rule_id] = {str(f) for f in fingerprints}
+        return cls(suppressions)
+
+    @classmethod
+    def from_violations(cls,
+                        violations: Iterable[Violation]) -> "Baseline":
+        suppressions: Dict[str, Set[str]] = {}
+        for violation in violations:
+            suppressions.setdefault(violation.rule_id, set()).add(
+                violation.fingerprint)
+        return cls(suppressions)
+
+    def dump(self, path: Path) -> None:
+        """Write the baseline in the restricted TOML subset we parse."""
+        lines: List[str] = [_HEADER, "[suppressions]"]
+        for rule_id in sorted(self.suppressions):
+            fingerprints = sorted(self.suppressions[rule_id])
+            if not fingerprints:
+                continue
+            lines.append(f"{rule_id} = [")
+            for fingerprint in fingerprints:
+                lines.append(f'    "{fingerprint}",')
+            lines.append("]")
+        path.write_text("\n".join(lines) + "\n")
+
+
+def _parse_restricted_toml(text: str) -> Dict[str, List[str]]:
+    """Parse the exact subset :meth:`Baseline.dump` emits (3.10 fallback).
+
+    Supports ``[suppressions]`` with ``KEY = [ "string", ... ]`` arrays,
+    possibly spanning lines, plus comments and blank lines.
+    """
+    raw: Dict[str, List[str]] = {}
+    in_table = False
+    current_key: str | None = None
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped.startswith("["):
+            in_table = stripped == "[suppressions]"
+            continue
+        if not in_table:
+            continue
+        if current_key is None:
+            key, _, rest = stripped.partition("=")
+            current_key = key.strip()
+            raw[current_key] = []
+            stripped = rest.strip()
+        while stripped:
+            if stripped.startswith("["):
+                stripped = stripped[1:].strip()
+                continue
+            if stripped.startswith("]"):
+                current_key = None
+                break
+            if stripped.startswith('"') and current_key is not None:
+                end = stripped.index('"', 1)
+                raw[current_key].append(stripped[1:end])
+                stripped = stripped[end + 1:].lstrip(", ").strip()
+                continue
+            raise ValueError(f"cannot parse baseline line: {line!r}")
+    return raw

@@ -1,0 +1,33 @@
+"""Simulation invariant primitives.
+
+This module is deliberately dependency-free: the hot simulator layers
+(:mod:`repro.sim.engine`, :mod:`repro.cache.cache`, ...) import it to raise
+structural-invariant failures, and the opt-in sanitizer
+(:mod:`repro.analysis.sanitizer`) builds its checks on top of it.
+
+Unlike a bare ``assert``, :func:`check` survives ``python -O`` -- exactly
+the property the static pass ``SIM006`` (no-bare-assert) enforces for
+invariants that guard the simulator's correctness rather than its tests.
+"""
+
+from __future__ import annotations
+
+
+class SimulationInvariantError(RuntimeError):
+    """A structural invariant of the simulator was violated.
+
+    Subclasses :class:`RuntimeError` so existing callers that defensively
+    catch engine/MSHR misuse keep working; the distinct type lets tests and
+    the sanitizer assert that a failure is an *invariant* violation rather
+    than an ordinary error.
+    """
+
+
+def check(condition: object, message: str, *args: object) -> None:
+    """Raise :class:`SimulationInvariantError` unless ``condition`` holds.
+
+    ``message`` is an ``%``-style format string; formatting is deferred so
+    the passing path costs one truthiness test and a call.
+    """
+    if not condition:
+        raise SimulationInvariantError(message % args if args else message)

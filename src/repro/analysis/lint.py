@@ -1,0 +1,124 @@
+"""Lint driver: file collection, project pass, baseline, CLI.
+
+Entry points:
+
+* ``python -m repro.analysis`` (see :mod:`repro.analysis.__main__`);
+* ``repro lint`` (see :mod:`repro.cli`);
+* :func:`run_lint` for programmatic use (tests, CI glue).
+
+Exit status is 0 when every violation is either fixed or listed in the
+baseline file, 1 otherwise -- the contract CI relies on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.framework import (ProjectIndex, iter_python_files,
+                                      lint_tree)
+from repro.analysis.report import (LintReport, render_json,
+                                   render_rule_catalogue, render_text)
+from repro.analysis.rules import default_rules
+
+DEFAULT_BASELINE = "analysis-baseline.toml"
+
+
+def _default_paths() -> List[Path]:
+    """``src/repro`` under the current directory, else the package dir."""
+    candidate = Path("src") / "repro"
+    if candidate.is_dir():
+        return [candidate]
+    import repro
+    return [Path(repro.__file__).resolve().parent]
+
+
+def _display_path(path: Path, root: Path) -> str:
+    """Stable, baseline-friendly path: root-relative POSIX when possible."""
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_lint(paths: Optional[Sequence[Path]] = None,
+             root: Optional[Path] = None,
+             baseline: Optional[Baseline] = None) -> LintReport:
+    """Lint ``paths`` (defaults to ``src/repro``) against ``baseline``."""
+    root = root or Path.cwd()
+    targets = list(paths) if paths else _default_paths()
+    for target in targets:
+        if not target.exists():
+            raise SystemExit(f"no such file or directory: {target}")
+    files = iter_python_files(targets)
+    baseline = baseline or Baseline()
+    rules = default_rules()
+    report = LintReport()
+    project = ProjectIndex()
+    parsed = []
+    for path in files:
+        source = path.read_text()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise SystemExit(f"cannot parse {path}: {exc}") from exc
+        project.collect(tree)
+        parsed.append((path, tree, source))
+    for path, tree, source in parsed:
+        display = _display_path(path, root)
+        for violation in lint_tree(display, tree, source, rules, project):
+            if baseline.is_suppressed(violation):
+                report.suppressed.append(violation)
+            else:
+                report.violations.append(violation)
+    report.checked_files = len(parsed)
+    return report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Simulator-discipline static analysis for src/repro")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files/directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--format", choices=["text", "json"],
+                        default="text", help="output format")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(DEFAULT_BASELINE),
+                        help=f"baseline suppression file "
+                             f"(default: {DEFAULT_BASELINE})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report every violation, ignoring the "
+                             "baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write all current violations to the "
+                             "baseline file and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_rule_catalogue())
+        return 0
+    baseline = Baseline()
+    if not args.no_baseline and not args.write_baseline:
+        baseline = Baseline.load(args.baseline)
+    report = run_lint(args.paths or None, baseline=baseline)
+    if args.write_baseline:
+        Baseline.from_violations(report.violations).dump(args.baseline)
+        print(f"wrote {len(report.violations)} suppression(s) to "
+              f"{args.baseline}")
+        return 0
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.ok else 1

@@ -1,0 +1,81 @@
+"""Text and JSON rendering of lint results."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.framework import Violation
+from repro.analysis.rules import ALL_RULES
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run, before/after baseline filtering."""
+
+    checked_files: int = 0
+    violations: List[Violation] = field(default_factory=list)
+    suppressed: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
+        return counts
+
+
+def render_text(report: LintReport) -> str:
+    lines: List[str] = []
+    for violation in sorted(report.violations,
+                            key=lambda v: (v.path, v.line, v.rule_id)):
+        lines.append(violation.format())
+    counts = report.counts_by_rule()
+    if counts:
+        summary = ", ".join(f"{rule}: {n}"
+                            for rule, n in sorted(counts.items()))
+        lines.append("")
+        lines.append(
+            f"{len(report.violations)} violation(s) in "
+            f"{report.checked_files} file(s) ({summary}); "
+            f"{len(report.suppressed)} baseline-suppressed")
+    else:
+        lines.append(
+            f"OK: {report.checked_files} file(s) clean "
+            f"({len(report.suppressed)} baseline-suppressed)")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    payload = {
+        "ok": report.ok,
+        "checked_files": report.checked_files,
+        "suppressed": len(report.suppressed),
+        "counts": report.counts_by_rule(),
+        "violations": [
+            {
+                "rule": v.rule_id,
+                "message": v.message,
+                "path": v.path,
+                "line": v.line,
+                "column": v.column,
+                "scope": v.scope,
+                "fingerprint": v.fingerprint,
+            }
+            for v in sorted(report.violations,
+                            key=lambda v: (v.path, v.line, v.rule_id))
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_rule_catalogue() -> str:
+    """The ``--list-rules`` output."""
+    lines = []
+    for rule in ALL_RULES:
+        lines.append(f"{rule.id}  {rule.name:<24} {rule.summary}")
+    return "\n".join(lines)

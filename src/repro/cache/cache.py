@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.analysis.invariants import check
 from repro.config import CacheConfig
 from repro.cache.replacement import make_policy
 
@@ -115,7 +116,9 @@ class Cache:
         if is_demand:
             self.stats.demand_hits += 1
         state = self._lines[set_index][way]
-        assert state is not None
+        check(state is not None,
+              "%s: tag map points at empty way %d of set %d",
+              self.config.name, way, set_index)
         if is_write:
             state.dirty = True
         if state.prefetched and not state.useful and is_demand:
@@ -139,7 +142,9 @@ class Cache:
         existing = self._map[set_index].get(tag)
         if existing is not None:
             state = self._lines[set_index][existing]
-            assert state is not None
+            check(state is not None,
+                  "%s: tag map points at empty way %d of set %d",
+                  self.config.name, existing, set_index)
             state.dirty = state.dirty or dirty
             return None
         way = self._find_way(set_index, now)

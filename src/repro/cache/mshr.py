@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.analysis.invariants import SimulationInvariantError
+
 
 class Mshr:
     """One outstanding miss."""
@@ -64,7 +66,8 @@ class MshrFile:
         if line in self.entries:
             raise ValueError(f"line {line:#x} already outstanding")
         if self.full:
-            raise RuntimeError("MSHR file full; caller must check first")
+            raise SimulationInvariantError(
+                "MSHR file full; caller must check first")
         mshr = Mshr(line, is_prefetch, crit, trigger_ip, now)
         self.entries[line] = mshr
         self.peak_occupancy = max(self.peak_occupancy, len(self.entries))

@@ -7,6 +7,7 @@ Commands
 ``workloads``  list the available workload models
 ``storage``    print CLIP's Table-2 storage accounting
 ``characterize``  static characterisation of one workload model
+``lint``       run the simulator static-analysis passes (repro.analysis)
 """
 
 from __future__ import annotations
@@ -73,6 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--tlb", action="store_true",
                      help="model the Table-3 TLB hierarchy (DTLB/STLB + "
                           "page walks)")
+    run.add_argument("--sanitize", action="store_true",
+                     help="install the runtime invariant sanitizer "
+                          "(also: REPRO_SANITIZE=1)")
 
     compare = sub.add_parser(
         "compare", help="compare schemes on one workload (markdown table)")
@@ -90,6 +94,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("workloads", help="list workload models")
     sub.add_parser("storage", help="print Table 2 (CLIP storage)")
+
+    lint = sub.add_parser(
+        "lint", help="run the simulator static-analysis passes")
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to lint (default: src/repro)")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--baseline", default="analysis-baseline.toml")
+    lint.add_argument("--no-baseline", action="store_true")
+    lint.add_argument("--write-baseline", action="store_true")
+    lint.add_argument("--list-rules", action="store_true")
 
     characterize = sub.add_parser(
         "characterize", help="static characterisation of a workload model")
@@ -112,6 +126,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config.capture_request_trace = 200_000
     if args.tlb:
         config.tlb = dataclasses.replace(config.tlb, enabled=True)
+    if args.sanitize:
+        config.sanitize = True
     mix = homogeneous_mix(args.workload, args.cores)
     from repro.sim.system import MulticoreSystem
     system = MulticoreSystem(config, mix)
@@ -180,6 +196,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "lint":
+        from repro.analysis.lint import main as lint_main
+        forwarded: List[str] = list(args.paths)
+        forwarded += ["--format", args.format, "--baseline", args.baseline]
+        for flag in ("no_baseline", "write_baseline", "list_rules"):
+            if getattr(args, flag):
+                forwarded.append("--" + flag.replace("_", "-"))
+        return lint_main(forwarded)
     if args.command == "workloads":
         for name in workload_names():
             print(name)

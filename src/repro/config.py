@@ -285,6 +285,11 @@ class SystemConfig:
     #: When > 0, record up to this many per-demand-load latency records
     #: (see ``repro.sim.tracing``); 0 disables tracing.
     capture_request_trace: int = 0
+    #: Install the runtime invariant sanitizer
+    #: (``repro.analysis.sanitizer``).  Also enabled by the
+    #: ``REPRO_SANITIZE=1`` environment variable; the flag is consulted
+    #: once at system construction, so a disabled run pays nothing.
+    sanitize: bool = False
     #: Instructions simulated per core with statistics on.
     sim_instructions: int = 20_000
 

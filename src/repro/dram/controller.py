@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+from repro.analysis.invariants import SimulationInvariantError
 from repro.config import DramConfig
 from repro.dram.address_mapping import AddressMapping
 
@@ -85,6 +86,16 @@ class DramChannel:
     MAX_IN_FLIGHT = 16
 
     def __init__(self, channel_id: int, config: DramConfig, engine) -> None:
+        # Timing sanity once at construction: negative array timings or a
+        # zero-cycle burst would silently break the tRP/tRCD/tCAS spacing
+        # and bus-serialisation invariants the sanitizer checks per event.
+        if config.burst_cycles < 1:
+            raise SimulationInvariantError(
+                f"burst_cycles must be >= 1, got {config.burst_cycles}")
+        if min(config.trp_cycles, config.trcd_cycles,
+               config.cas_cycles) < 0:
+            raise SimulationInvariantError(
+                "tRP/tRCD/tCAS timings must be non-negative")
         self.channel_id = channel_id
         self.config = config
         self.engine = engine

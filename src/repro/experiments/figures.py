@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.invariants import check
 from repro.config import SystemConfig
 from repro.core.storage import storage_overhead, storage_table
 from repro.criticality import predictor_names
@@ -149,7 +150,8 @@ def figure4(runner: Optional[ExperimentRunner] = None,
             result = runner.run_homogeneous(
                 "berti", workload, channels,
                 criticality=name, crit_gate=False)
-            assert result.criticality is not None
+            check(result.criticality is not None,
+                  "run with criticality=%r returned no measurement", name)
             accs.append(result.criticality.accuracy)
             covs.append(result.criticality.coverage)
         accuracy[name] = arithmetic_mean(accs)
@@ -392,9 +394,11 @@ def figure13(runner: Optional[ExperimentRunner] = None,
             result = runner.run_homogeneous("berti", workload, channels,
                                             criticality=name,
                                             crit_gate=False)
-            assert result.criticality is not None
+            check(result.criticality is not None,
+                  "run with criticality=%r returned no measurement", name)
             best_prior = max(best_prior, result.criticality.accuracy)
-        assert clip.clip is not None
+        check(clip.clip is not None,
+              "berti+clip run returned no CLIP statistics")
         per_mix[workload] = {
             "clip_accuracy": clip.clip.prediction_accuracy,
             "best_prior_accuracy": best_prior,

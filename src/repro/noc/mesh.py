@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.analysis.invariants import SimulationInvariantError
 from repro.config import NocConfig
 
 
@@ -87,6 +88,9 @@ class MeshNoc:
              high_priority: bool) -> int:
         """Reserve the path for one packet; returns its arrival cycle."""
         config = self.config
+        if flits < 1:
+            raise SimulationInvariantError(
+                f"packet with {flits} flits cannot traverse the mesh")
         per_hop = config.router_latency + config.link_latency
         time = now
         if src == dst:

@@ -14,6 +14,8 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Protocol, Tuple
 
+from repro.analysis.invariants import SimulationInvariantError
+
 
 class Tickable(Protocol):
     """A cycle-stepped component (a core)."""
@@ -72,13 +74,13 @@ class Engine:
                 if core.next_wake < next_cycle:
                     next_cycle = core.next_wake
             if next_cycle == float("inf"):
-                raise RuntimeError(
+                raise SimulationInvariantError(
                     "deadlock: no pending events and no core can progress "
                     f"(cycle {self.now}, "
                     f"{sum(1 for c in cores if not c.done)} cores active)")
             cycle = max(self.now, int(next_cycle))
             if cycle > max_cycles:
-                raise RuntimeError(
+                raise SimulationInvariantError(
                     f"exceeded max_cycles={max_cycles}; likely livelock")
             self.now = cycle
             self._drain_events_at(cycle)

@@ -98,6 +98,32 @@ class PrefetchStats:
             return 0.0
         return 1.0 - self.issued / self.candidates
 
+    def consistency_errors(self) -> List[str]:
+        """Structural violations in the counters (sanitizer final check).
+
+        ``useful`` may legitimately exceed ``issued`` (late-prefetch
+        merges count as useful without a new issue), so only the
+        relations that always hold are checked.
+        """
+        errors = []
+        for name in ("candidates", "issued", "dropped_filter",
+                     "dropped_duplicate", "dropped_mshr", "useful",
+                     "late"):
+            if getattr(self, name) < 0:
+                errors.append(f"{name} is negative "
+                              f"({getattr(self, name)})")
+        dropped = (self.dropped_filter + self.dropped_duplicate
+                   + self.dropped_mshr)
+        if dropped > self.candidates:
+            # Every drop comes out of the candidate pool exactly once.
+            errors.append(
+                f"drops ({dropped}) exceed candidates "
+                f"({self.candidates})")
+        if self.late > self.useful:
+            errors.append(f"late ({self.late}) exceeds useful "
+                          f"({self.useful})")
+        return errors
+
 
 @dataclass
 class ClipResult:

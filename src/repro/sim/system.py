@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from repro.analysis.invariants import check
+from repro.analysis.sanitizer import install_sanitizer, sanitize_enabled
 from repro.cache.cache import Cache
 from repro.cache.mshr import MshrFile
 from repro.config import SystemConfig
@@ -123,6 +125,11 @@ class MulticoreSystem:
         self.cores: List[Core] = []
         self._build_nodes()
         self._build_cores()
+        # Opt-in runtime invariant sanitizer: the guard is evaluated once
+        # here, at wiring time -- a disabled run installs no wrappers and
+        # the hot paths stay untouched (repro.analysis.sanitizer).
+        self.sanitizer = (install_sanitizer(self)
+                          if sanitize_enabled(config) else None)
 
     def _default_label(self) -> str:
         parts = [self.config.l1_prefetcher.name]
@@ -721,6 +728,8 @@ class MulticoreSystem:
 
     def run(self, max_cycles: int = 200_000_000) -> SimulationResult:
         final_cycle = self.engine.run(self.cores, max_cycles=max_cycles)
+        if self.sanitizer is not None:
+            self.sanitizer.final_check(self)
         return self._collect(final_cycle)
 
     def _collect(self, final_cycle: int) -> SimulationResult:
@@ -803,7 +812,8 @@ class MulticoreSystem:
         predicted = correct = actual = covered = 0
         for node in self.nodes:
             clip = node.clip
-            assert clip is not None
+            check(clip is not None, "CLIP enabled but core %d has no "
+                  "Clip instance", node.core_id)
             predicted += clip.stats.predicted_critical
             correct += clip.stats.predicted_critical_correct
             actual += clip.stats.actual_critical
@@ -826,7 +836,8 @@ class MulticoreSystem:
         name = self.config.criticality.name
         for node in self.nodes:
             gate = node.crit_gate
-            assert gate is not None
+            check(gate is not None, "criticality predictor %r enabled "
+                  "but core %d has no gate", name, node.core_id)
             measurement = gate.measurement
             predicted += measurement.predicted
             correct += measurement.predicted_correct
