@@ -2,8 +2,12 @@
 
 All figure benchmarks share one :class:`ExperimentRunner` (see conftest)
 so the hundreds of simulations behind the paper's figures are executed
-once per session.  The scale is deliberately small (DESIGN.md section 2);
-pass a larger :class:`BenchScale` to the drivers for higher-fidelity runs.
+once per session — and at most once per *machine*: the runner persists
+results in the ``.repro-cache/`` store, so re-invoking any benchmark
+re-simulates nothing (``REPRO_NO_CACHE=1`` opts out, ``REPRO_JOBS=N``
+parallelises cold runs).  The scale is deliberately small (DESIGN.md
+section 2); pass a larger :class:`BenchScale` to the drivers for
+higher-fidelity runs.
 """
 
 from __future__ import annotations

@@ -2,14 +2,22 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from _harness import BENCH_SCALE
-from repro.experiments import ExperimentRunner
+from repro.experiments import ExperimentRunner, ResultStore
 
 
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
     """One cached runner for the whole benchmark session: figures reuse
-    each other's baseline simulations."""
-    return ExperimentRunner(BENCH_SCALE)
+    each other's baseline simulations, and — unless ``REPRO_NO_CACHE`` is
+    set — results persist under ``.repro-cache/`` so a rerun of any
+    figure benchmark skips simulation entirely.  Set ``REPRO_JOBS=N`` to
+    fan cold sweep points across N processes (default: serial, so the
+    benchmark timings stay comparable)."""
+    store = None if os.environ.get("REPRO_NO_CACHE") else ResultStore()
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    return ExperimentRunner(BENCH_SCALE, store=store, jobs=jobs)

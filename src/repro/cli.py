@@ -4,6 +4,8 @@ Commands
 --------
 ``run``        simulate one configuration and print a result summary
 ``figure``     regenerate one of the paper's figures/tables by name
+``sweep``      run a (scheme x workload x channel) grid in parallel,
+               with results persisted in the on-disk cache
 ``workloads``  list the available workload models
 ``storage``    print CLIP's Table-2 storage accounting
 ``characterize``  static characterisation of one workload model
@@ -91,6 +93,36 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("name", choices=sorted(FIGURES) + sorted(TABLES))
     figure.add_argument("--cores", type=int, default=None)
     figure.add_argument("--instructions", type=int, default=None)
+    figure.add_argument("--jobs", "-j", type=int, default=1,
+                        help="simulate independent sweep points across "
+                             "this many processes")
+    figure.add_argument("--cache", action="store_true",
+                        help="persist/reuse results in the on-disk cache "
+                             "(.repro-cache/)")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a (scheme x workload x channel) grid, "
+                      "parallel and disk-cached")
+    sweep.add_argument("--schemes", nargs="+", default=None,
+                       help="scheme names, e.g. berti berti+clip "
+                            "(default: the Fig. 19-20 comparison space)")
+    sweep.add_argument("--workloads", nargs="+", default=None,
+                       help="workload model names (default: the scale's "
+                            "homogeneous sample)")
+    sweep.add_argument("--channels", nargs="+", type=int, default=None,
+                       help="channel counts (default: the Fig. 19-20 "
+                            "sweep, 1 2 4)")
+    sweep.add_argument("--cores", type=int, default=8)
+    sweep.add_argument("--instructions", type=int, default=8_000)
+    sweep.add_argument("--jobs", "-j", type=int, default=1,
+                       help="worker processes for independent points")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="result cache directory (default: "
+                            ".repro-cache/, or $REPRO_CACHE_DIR)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="do not read or write the on-disk cache")
+    sweep.add_argument("--csv", metavar="PATH", default=None,
+                       help="also export the speedup series as CSV")
 
     sub.add_parser("workloads", help="list workload models")
     sub.add_parser("storage", help="print Table 2 (CLIP storage)")
@@ -185,8 +217,61 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     if args.instructions is not None:
         scale_fields["sim_instructions"] = args.instructions
     scale = dataclasses.replace(experiments.BenchScale(), **scale_fields)
-    runner = experiments.ExperimentRunner(scale)
+    store = experiments.ResultStore() if args.cache else None
+    runner = experiments.ExperimentRunner(scale, store=store,
+                                          jobs=args.jobs)
     FIGURES[args.name](runner)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import channel_sweep_schemes
+    from repro.experiments.statistics import geometric_mean
+    from repro.experiments.sweep import (ResultStore, Scheme, Sweep,
+                                         run_sweep)
+    from repro.sim.stats import weighted_speedup
+    from repro.trace import homogeneous_mix
+
+    scale = experiments.BenchScale(num_cores=args.cores,
+                                   sim_instructions=args.instructions)
+    if args.schemes is not None:
+        schemes = {name: Scheme.parse(name) for name in args.schemes}
+    else:
+        schemes = channel_sweep_schemes()
+    workloads = args.workloads or scale.sample_homogeneous()
+    channels = args.channels or list(scale.channel_sweep[:3])
+    mixes = [homogeneous_mix(w, args.cores) for w in workloads]
+    sweep = Sweep.product(list(schemes.values()), mixes, channels,
+                          num_cores=args.cores,
+                          sim_instructions=args.instructions)
+    sweep = sweep.with_baselines()
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    outcome = run_sweep(sweep, jobs=args.jobs, store=store)
+
+    def speedup(scheme, mix, ch) -> float:
+        spec = experiments.RunSpec(scheme=scheme, mix=tuple(mix),
+                                   channels=ch, num_cores=args.cores,
+                                   sim_instructions=args.instructions)
+        base = dataclasses.replace(spec, scheme=scheme.baseline())
+        return weighted_speedup(outcome[spec], outcome[base])
+
+    series = {
+        name: [geometric_mean([speedup(scheme, mix, ch) for mix in mixes])
+               for ch in channels]
+        for name, scheme in schemes.items()
+    }
+    from repro.experiments.report import print_figure
+    print_figure(f"Sweep: weighted speedup vs no-prefetching "
+                 f"({args.cores} cores, {len(workloads)} workload(s))",
+                 ["scheme"] + [f"ch={c}" for c in channels],
+                 [[name] + series[name] for name in schemes])
+    if args.csv:
+        from repro.experiments.export import export_series_csv
+        export_series_csv(series, channels, args.csv)
+        print(f"wrote {args.csv}")
+    print(f"\nsimulated {outcome.simulated} point(s); "
+          f"{outcome.cache_hits} of {len(sweep)} served from the disk "
+          f"cache")
     return 0
 
 
@@ -196,6 +281,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "lint":
         from repro.analysis.lint import main as lint_main
         forwarded: List[str] = list(args.paths)
@@ -214,11 +301,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "compare":
         from repro.experiments.report import comparison_report
         from repro.experiments.runner import ExperimentRunner, BenchScale
+        from repro.experiments.sweep import Scheme
         runner = ExperimentRunner(BenchScale(
             num_cores=args.cores, sim_instructions=args.instructions))
         results = {
-            scheme: runner.run_homogeneous(scheme, args.workload,
-                                           args.channels)
+            scheme: runner.run_homogeneous(Scheme.parse(scheme),
+                                           args.workload, args.channels)
             for scheme in args.schemes
         }
         baseline = "none" if "none" in results else args.schemes[0]

@@ -18,6 +18,8 @@ from repro.experiments.figures import (figure1, figure2, figure3, figure4,
                                        core_count_sensitivity,
                                        ablation_study)
 from repro.experiments.runner import BenchScale, ExperimentRunner
+from repro.experiments.sweep import (ResultStore, RunSpec, Scheme, Sweep,
+                                     run_sweep)
 
 __all__ = [
     "figure1", "figure2", "figure3", "figure4", "figure5", "figure6",
@@ -26,4 +28,5 @@ __all__ = [
     "figure21", "table2", "table3", "energy_study", "llc_sensitivity",
     "ablation_study",
     "core_count_sensitivity", "BenchScale", "ExperimentRunner",
+    "Scheme", "RunSpec", "Sweep", "ResultStore", "run_sweep",
 ]

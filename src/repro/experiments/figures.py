@@ -6,6 +6,13 @@ and returns the numbers for programmatic use.  The scaled channel axis maps
 to the paper's channel axis by cores-per-channel: with the default 8-core
 scale, 1 scaled channel corresponds to the paper's 8-channel (constrained)
 point and 8-16 scaled channels to its 64-channel (unconstrained) point.
+
+Drivers describe their grid as typed :class:`~repro.experiments.sweep.Scheme`
+values and submit the whole figure as one batch (``runner.run_sweep``)
+before reading any individual point, so a runner constructed with
+``jobs > 1`` fans the independent simulations across processes and one
+constructed with a :class:`~repro.experiments.sweep.ResultStore` serves
+warm reruns from disk.
 """
 
 from __future__ import annotations
@@ -17,9 +24,10 @@ from repro.config import SystemConfig
 from repro.core.storage import storage_overhead, storage_table
 from repro.criticality import predictor_names
 from repro.energy import dynamic_energy
-from repro.experiments.reporting import (arithmetic_mean, geometric_mean,
-                                         print_figure)
+from repro.experiments.report import print_figure
 from repro.experiments.runner import BenchScale, ExperimentRunner
+from repro.experiments.statistics import arithmetic_mean, geometric_mean
+from repro.experiments.sweep import Scheme
 from repro.sim.stats import weighted_speedup
 from repro.throttle import throttler_names
 from repro.trace.workloads import SPEC_HOMOGENEOUS_MIXES
@@ -32,18 +40,53 @@ def _runner(runner: Optional[ExperimentRunner]) -> ExperimentRunner:
     return runner if runner is not None else ExperimentRunner()
 
 
-def _homog_speedups(runner: ExperimentRunner, scheme: str, channels: int,
-                    workloads: Sequence[str], **overrides) -> List[float]:
-    return [runner.speedup_homogeneous(scheme, workload, channels,
-                                       **overrides)
+def _scheme(name: str, **fields) -> Scheme:
+    """Typed scheme from a legacy name plus field overrides."""
+    return Scheme.parse(name, **fields)
+
+
+def _submit_homogeneous(runner: ExperimentRunner,
+                        schemes: Sequence[Scheme],
+                        channels: Sequence[int],
+                        workloads: Sequence[str]) -> None:
+    """Submit a whole (scheme x channel x workload) grid, plus the
+    matching baselines, as one parallel/cached sweep."""
+    specs = []
+    for scheme in schemes:
+        for ch in channels:
+            for workload in workloads:
+                specs.append(runner.spec_homogeneous(scheme, workload, ch))
+                specs.append(runner.spec_homogeneous(scheme.baseline(),
+                                                     workload, ch))
+    runner.run_sweep(specs)
+
+
+def _submit_heterogeneous(runner: ExperimentRunner,
+                          schemes: Sequence[Scheme],
+                          channels: Sequence[int],
+                          mixes: Sequence[Sequence[str]]) -> None:
+    specs = []
+    for scheme in schemes:
+        for ch in channels:
+            for mix in mixes:
+                specs.append(runner.spec(scheme, mix, ch))
+                specs.append(runner.spec(scheme.baseline(), mix, ch))
+    runner.run_sweep(specs)
+
+
+def _homog_speedups(runner: ExperimentRunner, scheme: Scheme,
+                    channels: int,
+                    workloads: Sequence[str]) -> List[float]:
+    _submit_homogeneous(runner, [scheme], [channels], workloads)
+    return [runner.speedup_homogeneous(scheme, workload, channels)
             for workload in workloads]
 
 
-def _hetero_speedups(runner: ExperimentRunner, scheme: str, channels: int,
-                     mixes: Sequence[Sequence[str]], **overrides
-                     ) -> List[float]:
-    return [runner.speedup_mix(scheme, mix, channels, **overrides)
-            for mix in mixes]
+def _hetero_speedups(runner: ExperimentRunner, scheme: Scheme,
+                     channels: int,
+                     mixes: Sequence[Sequence[str]]) -> List[float]:
+    _submit_heterogeneous(runner, [scheme], [channels], mixes)
+    return [runner.speedup_mix(scheme, mix, channels) for mix in mixes]
 
 
 # ---------------------------------------------------------------------------
@@ -60,9 +103,12 @@ def figure1(runner: Optional[ExperimentRunner] = None,
     runner = _runner(runner)
     workloads = runner.scale.sample_homogeneous()
     channels = list(runner.scale.channel_sweep)
+    schemes = {name: _scheme(name) for name in PREFETCHER_SCHEMES}
+    _submit_homogeneous(runner, list(schemes.values()), channels,
+                        workloads)
     series: Dict[str, List[float]] = {}
-    for scheme in PREFETCHER_SCHEMES:
-        series[scheme] = [
+    for name, scheme in schemes.items():
+        series[name] = [
             geometric_mean(_homog_speedups(runner, scheme, ch, workloads))
             for ch in channels
         ]
@@ -80,9 +126,11 @@ def figure2(runner: Optional[ExperimentRunner] = None,
     runner = _runner(runner)
     mixes = runner.heterogeneous()
     channels = list(runner.scale.channel_sweep)
+    schemes = {name: _scheme(name) for name in PREFETCHER_SCHEMES}
+    _submit_heterogeneous(runner, list(schemes.values()), channels, mixes)
     series: Dict[str, List[float]] = {}
-    for scheme in PREFETCHER_SCHEMES:
-        series[scheme] = [
+    for name, scheme in schemes.items():
+        series[name] = [
             geometric_mean(_hetero_speedups(runner, scheme, ch, mixes))
             for ch in channels
         ]
@@ -105,17 +153,20 @@ def figure3(runner: Optional[ExperimentRunner] = None,
     workloads = runner.scale.sample_homogeneous()
     channels = list(runner.scale.channel_sweep)
     levels = ["L1D", "L2", "LLC"]
+    none, berti = _scheme("none"), _scheme("berti")
+    _submit_homogeneous(runner, [none, berti], channels, workloads)
     inflation: Dict[str, List[float]] = {level: [] for level in levels}
     for ch in channels:
-        ratios = {level: [] for level in levels}
+        ratios: Dict[str, List[float]] = {level: [] for level in levels}
         for workload in workloads:
-            base = runner.run_homogeneous("none", workload, ch)
-            berti = runner.run_homogeneous("berti", workload, ch)
+            base = runner.run(runner.spec_homogeneous(none, workload, ch))
+            with_pf = runner.run(runner.spec_homogeneous(berti, workload,
+                                                         ch))
             for level in levels:
                 base_latency = base.levels[level].average_miss_latency
                 if base_latency > 0:
                     ratios[level].append(
-                        berti.levels[level].average_miss_latency
+                        with_pf.levels[level].average_miss_latency
                         / base_latency)
         for level in levels:
             inflation[level].append(arithmetic_mean(ratios[level]))
@@ -142,14 +193,17 @@ def figure4(runner: Optional[ExperimentRunner] = None,
     runner = _runner(runner)
     workloads = runner.scale.sample_homogeneous()
     channels = runner.scale.constrained_channels
+    measured = {name: _scheme("berti", criticality=name, crit_gate=False)
+                for name in predictor_names()}
+    _submit_homogeneous(runner, list(measured.values()), [channels],
+                        workloads)
     accuracy: Dict[str, float] = {}
     coverage: Dict[str, float] = {}
-    for name in predictor_names():
+    for name, scheme in measured.items():
         accs, covs = [], []
         for workload in workloads:
-            result = runner.run_homogeneous(
-                "berti", workload, channels,
-                criticality=name, crit_gate=False)
+            result = runner.run(
+                runner.spec_homogeneous(scheme, workload, channels))
             check(result.criticality is not None,
                   "run with criticality=%r returned no measurement", name)
             accs.append(result.criticality.accuracy)
@@ -176,31 +230,31 @@ def figure5(runner: Optional[ExperimentRunner] = None,
     workloads = runner.scale.sample_homogeneous()
     hetero = runner.heterogeneous()
     channels = list(runner.scale.channel_sweep[:3])
-    schemes = ["berti"] + [f"berti+{n}" for n in predictor_names()]
+    gated = {"berti": _scheme("berti")}
+    for name in predictor_names():
+        gated[f"berti+{name}"] = _scheme("berti", criticality=name)
+    _submit_homogeneous(runner, list(gated.values()), channels, workloads)
+    _submit_heterogeneous(runner, list(gated.values()), channels, hetero)
     homog: Dict[str, List[float]] = {}
     heterog: Dict[str, List[float]] = {}
-    for scheme in schemes:
-        crit = scheme.split("+")[1] if "+" in scheme else None
-        overrides = {"criticality": crit} if crit else {}
-        homog[scheme] = [
-            geometric_mean(_homog_speedups(runner, "berti", ch, workloads,
-                                           **overrides))
+    for label, scheme in gated.items():
+        homog[label] = [
+            geometric_mean(_homog_speedups(runner, scheme, ch, workloads))
             for ch in channels
         ]
-        heterog[scheme] = [
-            geometric_mean(_hetero_speedups(runner, "berti", ch, hetero,
-                                            **overrides))
+        heterog[label] = [
+            geometric_mean(_hetero_speedups(runner, scheme, ch, hetero))
             for ch in channels
         ]
     if not quiet:
         print_figure("Figure 5a: Berti + criticality predictors "
                      "(homogeneous)",
                      ["scheme"] + [f"ch={c}" for c in channels],
-                     [[s] + homog[s] for s in schemes])
+                     [[s] + homog[s] for s in gated])
         print_figure("Figure 5b: Berti + criticality predictors "
                      "(heterogeneous)",
                      ["scheme"] + [f"ch={c}" for c in channels],
-                     [[s] + heterog[s] for s in schemes])
+                     [[s] + heterog[s] for s in gated])
     return {"channels": channels, "homogeneous": homog,
             "heterogeneous": heterog}
 
@@ -215,29 +269,31 @@ def figure6(runner: Optional[ExperimentRunner] = None,
     workloads = runner.scale.sample_homogeneous()
     hetero = runner.heterogeneous()
     channels = list(runner.scale.channel_sweep[:3])
-    schemes = ["berti"] + [f"berti+{n}" for n in throttler_names()]
+    throttled = {"berti": _scheme("berti")}
+    for name in throttler_names():
+        throttled[f"berti+{name}"] = _scheme("berti", throttle=name)
+    _submit_homogeneous(runner, list(throttled.values()), channels,
+                        workloads)
+    _submit_heterogeneous(runner, list(throttled.values()), channels,
+                          hetero)
     homog: Dict[str, List[float]] = {}
     heterog: Dict[str, List[float]] = {}
-    for scheme in schemes:
-        throttle = scheme.split("+")[1] if "+" in scheme else None
-        overrides = {"throttle": throttle} if throttle else {}
-        homog[scheme] = [
-            geometric_mean(_homog_speedups(runner, "berti", ch, workloads,
-                                           **overrides))
+    for label, scheme in throttled.items():
+        homog[label] = [
+            geometric_mean(_homog_speedups(runner, scheme, ch, workloads))
             for ch in channels
         ]
-        heterog[scheme] = [
-            geometric_mean(_hetero_speedups(runner, "berti", ch, hetero,
-                                            **overrides))
+        heterog[label] = [
+            geometric_mean(_hetero_speedups(runner, scheme, ch, hetero))
             for ch in channels
         ]
     if not quiet:
         print_figure("Figure 6a: Berti + throttlers (homogeneous)",
                      ["scheme"] + [f"ch={c}" for c in channels],
-                     [[s] + homog[s] for s in schemes])
+                     [[s] + homog[s] for s in throttled])
         print_figure("Figure 6b: Berti + throttlers (heterogeneous)",
                      ["scheme"] + [f"ch={c}" for c in channels],
-                     [[s] + heterog[s] for s in schemes])
+                     [[s] + heterog[s] for s in throttled])
     return {"channels": channels, "homogeneous": homog,
             "heterogeneous": heterog}
 
@@ -257,17 +313,21 @@ def figure9(runner: Optional[ExperimentRunner] = None,
     workloads = runner.scale.sample_homogeneous()
     hetero = runner.heterogeneous()
     channels = runner.scale.constrained_channels
+    variants = {}
+    for name in PREFETCHER_SCHEMES:
+        variants[name] = _scheme(name)
+        variants[name + "+clip"] = _scheme(name + "+clip")
+    _submit_homogeneous(runner, list(variants.values()), [channels],
+                        workloads)
+    _submit_heterogeneous(runner, list(variants.values()), [channels],
+                          hetero)
     homog: Dict[str, float] = {}
     heterog: Dict[str, float] = {}
-    for scheme in PREFETCHER_SCHEMES:
-        homog[scheme] = geometric_mean(
+    for label, scheme in variants.items():
+        homog[label] = geometric_mean(
             _homog_speedups(runner, scheme, channels, workloads))
-        homog[scheme + "+clip"] = geometric_mean(
-            _homog_speedups(runner, scheme + "+clip", channels, workloads))
-        heterog[scheme] = geometric_mean(
+        heterog[label] = geometric_mean(
             _hetero_speedups(runner, scheme, channels, hetero))
-        heterog[scheme + "+clip"] = geometric_mean(
-            _hetero_speedups(runner, scheme + "+clip", channels, hetero))
     if not quiet:
         rows = [[s, homog[s], homog[s + "+clip"], heterog[s],
                  heterog[s + "+clip"]] for s in PREFETCHER_SCHEMES]
@@ -282,19 +342,27 @@ def _per_mix_runs(runner: ExperimentRunner,
                   workloads: Sequence[str]) -> Dict[str, Dict]:
     """Shared per-mix Berti vs Berti+CLIP runs (Figs. 10, 11, 14-16)."""
     channels = runner.scale.constrained_channels
+    none = _scheme("none")
+    berti = _scheme("berti")
+    berti_clip = _scheme("berti+clip")
+    _submit_homogeneous(runner, [none, berti, berti_clip], [channels],
+                        workloads)
     out: Dict[str, Dict] = {}
     for workload in workloads:
-        base = runner.run_homogeneous("none", workload, channels)
-        berti = runner.run_homogeneous("berti", workload, channels)
-        clip = runner.run_homogeneous("berti+clip", workload, channels)
+        base = runner.run(runner.spec_homogeneous(none, workload,
+                                                  channels))
+        with_pf = runner.run(runner.spec_homogeneous(berti, workload,
+                                                     channels))
+        with_clip = runner.run(runner.spec_homogeneous(berti_clip,
+                                                       workload, channels))
         out[workload] = {
-            "berti_ws": weighted_speedup(berti, base),
-            "clip_ws": weighted_speedup(clip, base),
-            "berti_l1_latency": berti.average_l1_miss_latency(),
-            "clip_l1_latency": clip.average_l1_miss_latency(),
-            "berti_issued": berti.prefetch.issued,
-            "clip_issued": clip.prefetch.issued,
-            "clip": clip.clip,
+            "berti_ws": weighted_speedup(with_pf, base),
+            "clip_ws": weighted_speedup(with_clip, base),
+            "berti_l1_latency": with_pf.average_l1_miss_latency(),
+            "clip_l1_latency": with_clip.average_l1_miss_latency(),
+            "berti_issued": with_pf.prefetch.issued,
+            "clip_issued": with_clip.prefetch.issued,
+            "clip": with_clip.clip,
         }
     return out
 
@@ -356,15 +424,20 @@ def figure12(runner: Optional[ExperimentRunner] = None,
     runner = _runner(runner)
     workloads = runner.scale.sample_homogeneous()
     channels = runner.scale.constrained_channels
-    coverage = {"berti": {}, "berti+clip": {}}
-    for scheme in coverage:
-        per_level = {"L1D": [], "L2": [], "LLC": []}
+    schemes = {"berti": _scheme("berti"),
+               "berti+clip": _scheme("berti+clip")}
+    _submit_homogeneous(runner, list(schemes.values()), [channels],
+                        workloads)
+    coverage: Dict[str, Dict[str, float]] = {}
+    for label, scheme in schemes.items():
+        per_level: Dict[str, List[float]] = {"L1D": [], "L2": [], "LLC": []}
         for workload in workloads:
-            result = runner.run_homogeneous(scheme, workload, channels)
+            result = runner.run(
+                runner.spec_homogeneous(scheme, workload, channels))
             for level in per_level:
                 per_level[level].append(result.levels[level].miss_coverage)
-        coverage[scheme] = {level: arithmetic_mean(values)
-                            for level, values in per_level.items()}
+        coverage[label] = {level: arithmetic_mean(values)
+                           for level, values in per_level.items()}
     if not quiet:
         rows = [[level, coverage["berti"][level],
                  coverage["berti+clip"][level]]
@@ -386,14 +459,19 @@ def figure13(runner: Optional[ExperimentRunner] = None,
     runner = _runner(runner)
     workloads = list(workloads or runner.scale.sample_homogeneous())
     channels = runner.scale.constrained_channels
+    berti_clip = _scheme("berti+clip")
+    priors = {name: _scheme("berti", criticality=name, crit_gate=False)
+              for name in baselines}
+    _submit_homogeneous(runner, [berti_clip] + list(priors.values()),
+                        [channels], workloads)
     per_mix: Dict[str, Dict[str, float]] = {}
     for workload in workloads:
-        clip = runner.run_homogeneous("berti+clip", workload, channels)
+        clip = runner.run(
+            runner.spec_homogeneous(berti_clip, workload, channels))
         best_prior = 0.0
-        for name in baselines:
-            result = runner.run_homogeneous("berti", workload, channels,
-                                            criticality=name,
-                                            crit_gate=False)
+        for name, scheme in priors.items():
+            result = runner.run(
+                runner.spec_homogeneous(scheme, workload, channels))
             check(result.criticality is not None,
                   "run with criticality=%r returned no measurement", name)
             best_prior = max(best_prior, result.criticality.accuracy)
@@ -502,10 +580,14 @@ def figure17(runner: Optional[ExperimentRunner] = None,
     runner = _runner(runner)
     workloads = runner.cloud_workloads()
     channels = list(runner.scale.channel_sweep[:4])
-    series: Dict[str, List[float]] = {"berti": [], "berti+clip": []}
+    schemes = {"berti": _scheme("berti"),
+               "berti+clip": _scheme("berti+clip")}
+    _submit_homogeneous(runner, list(schemes.values()), channels,
+                        workloads)
+    series: Dict[str, List[float]] = {label: [] for label in schemes}
     for ch in channels:
-        for scheme in series:
-            series[scheme].append(geometric_mean(
+        for label, scheme in schemes.items():
+            series[label].append(geometric_mean(
                 _homog_speedups(runner, scheme, ch, workloads)))
     if not quiet:
         rows = [[s] + series[s] for s in series]
@@ -524,21 +606,27 @@ def figure18(runner: Optional[ExperimentRunner] = None,
     workloads = runner.scale.sample_homogeneous()
     channels = runner.scale.constrained_channels
     factors = [0.25, 0.5, 1.0, 2.0, 4.0]
-    tables = {"filter": {}, "predictor": {}}
+    scaled = {
+        ("filter", factor): _scheme("berti", clip_filter_scale=factor)
+        for factor in factors if factor != 1.0
+    }
+    scaled.update({
+        ("predictor", factor): _scheme("berti",
+                                       clip_predictor_scale=factor)
+        for factor in factors if factor != 1.0
+    })
+    _submit_homogeneous(runner,
+                        [_scheme("berti+clip")] + list(scaled.values()),
+                        [channels], workloads)
+    tables: Dict[str, Dict[float, float]] = {"filter": {}, "predictor": {}}
     reference = geometric_mean(_homog_speedups(
-        runner, "berti+clip", channels, workloads))
-    for factor in factors:
-        for which in tables:
-            if factor == 1.0:
-                tables[which][factor] = 1.0
-                continue
-            # Scale one table, keep the other at baseline (paper method).
-            override = ("clip_filter_scale" if which == "filter"
-                        else "clip_predictor_scale")
-            value = geometric_mean(_homog_speedups(
-                runner, "berti", channels, workloads,
-                **{override: factor}))
-            tables[which][factor] = value / reference if reference else 0.0
+        runner, _scheme("berti+clip"), channels, workloads))
+    for (which, factor), scheme in scaled.items():
+        value = geometric_mean(_homog_speedups(
+            runner, scheme, channels, workloads))
+        tables[which][factor] = value / reference if reference else 0.0
+    for which in tables:
+        tables[which][1.0] = 1.0
     if not quiet:
         rows = [[which] + [tables[which][f] for f in factors]
                 for which in tables]
@@ -548,20 +636,31 @@ def figure18(runner: Optional[ExperimentRunner] = None,
             "reference_ws": reference}
 
 
+def channel_sweep_schemes() -> Dict[str, Scheme]:
+    """The Fig. 19-20 comparison space: each prefetcher with and without
+    CLIP.  Shared by the figure drivers and ``repro sweep``."""
+    variants: Dict[str, Scheme] = {}
+    for name in PREFETCHER_SCHEMES:
+        variants[name] = _scheme(name)
+        variants[name + "+clip"] = _scheme(name + "+clip")
+    return variants
+
+
 def figure19(runner: Optional[ExperimentRunner] = None,
              quiet: bool = False) -> Dict:
     """Fig. 19: CLIP with all prefetchers across channels (homogeneous)."""
     runner = _runner(runner)
     workloads = runner.scale.sample_homogeneous()
     channels = list(runner.scale.channel_sweep[:3])
+    variants = channel_sweep_schemes()
+    _submit_homogeneous(runner, list(variants.values()), channels,
+                        workloads)
     series: Dict[str, List[float]] = {}
-    for scheme in PREFETCHER_SCHEMES:
-        for variant in (scheme, scheme + "+clip"):
-            series[variant] = [
-                geometric_mean(_homog_speedups(runner, variant, ch,
-                                               workloads))
-                for ch in channels
-            ]
+    for label, scheme in variants.items():
+        series[label] = [
+            geometric_mean(_homog_speedups(runner, scheme, ch, workloads))
+            for ch in channels
+        ]
     if not quiet:
         rows = [[s] + series[s] for s in series]
         print_figure("Figure 19: CLIP vs channels (homogeneous)",
@@ -575,13 +674,14 @@ def figure20(runner: Optional[ExperimentRunner] = None,
     runner = _runner(runner)
     mixes = runner.heterogeneous()
     channels = list(runner.scale.channel_sweep[:3])
+    variants = channel_sweep_schemes()
+    _submit_heterogeneous(runner, list(variants.values()), channels, mixes)
     series: Dict[str, List[float]] = {}
-    for scheme in PREFETCHER_SCHEMES:
-        for variant in (scheme, scheme + "+clip"):
-            series[variant] = [
-                geometric_mean(_hetero_speedups(runner, variant, ch, mixes))
-                for ch in channels
-            ]
+    for label, scheme in variants.items():
+        series[label] = [
+            geometric_mean(_hetero_speedups(runner, scheme, ch, mixes))
+            for ch in channels
+        ]
     if not quiet:
         rows = [[s] + series[s] for s in series]
         print_figure("Figure 20: CLIP vs channels (heterogeneous)",
@@ -600,15 +700,20 @@ def figure21(runner: Optional[ExperimentRunner] = None,
     workloads = runner.scale.sample_homogeneous()
     hetero = runner.heterogeneous()
     channels = list(runner.scale.channel_sweep[:3])
-    schemes = ["berti", "berti+hermes", "berti+dspatch", "berti+clip"]
+    schemes = {name: _scheme(name)
+               for name in ("berti", "berti+hermes", "berti+dspatch",
+                            "berti+clip")}
+    _submit_homogeneous(runner, list(schemes.values()), channels,
+                        workloads)
+    _submit_heterogeneous(runner, list(schemes.values()), channels, hetero)
     homog: Dict[str, List[float]] = {}
     heterog: Dict[str, List[float]] = {}
-    for scheme in schemes:
-        homog[scheme] = [
+    for label, scheme in schemes.items():
+        homog[label] = [
             geometric_mean(_homog_speedups(runner, scheme, ch, workloads))
             for ch in channels
         ]
-        heterog[scheme] = [
+        heterog[label] = [
             geometric_mean(_hetero_speedups(runner, scheme, ch, hetero))
             for ch in channels
         ]
@@ -673,13 +778,18 @@ def energy_study(runner: Optional[ExperimentRunner] = None,
     runner = _runner(runner)
     workloads = runner.scale.sample_homogeneous()
     channels = runner.scale.constrained_channels
-    totals = {"berti": [], "berti+clip": []}
+    schemes = {"berti": _scheme("berti"),
+               "berti+clip": _scheme("berti+clip")}
+    _submit_homogeneous(runner, list(schemes.values()), [channels],
+                        workloads)
+    totals: Dict[str, List[float]] = {label: [] for label in schemes}
     for workload in workloads:
-        for scheme in totals:
-            result = runner.run_homogeneous(scheme, workload, channels)
+        for label, scheme in schemes.items():
+            result = runner.run(
+                runner.spec_homogeneous(scheme, workload, channels))
             clip_events = (result.levels["L1D"].demand_accesses
-                           if scheme.endswith("clip") else 0)
-            totals[scheme].append(
+                           if scheme.clip else 0)
+            totals[label].append(
                 dynamic_energy(result, clip_events=clip_events).total_mj)
     berti_mj = arithmetic_mean(totals["berti"])
     clip_mj = arithmetic_mean(totals["berti+clip"])
@@ -700,13 +810,15 @@ def llc_sensitivity(runner: Optional[ExperimentRunner] = None,
     channels = runner.scale.constrained_channels
     # Scaled stand-ins for the paper's 512 KB / 2 MB / 4 MB per core.
     sizes_kib = [64, 128, 256]
+    grid = {(label, size): _scheme(label, llc_kib=size)
+            for label in ("berti", "berti+clip") for size in sizes_kib}
+    _submit_homogeneous(runner, list(grid.values()), [channels], workloads)
     out: Dict[int, Dict[str, float]] = {}
     for size in sizes_kib:
         out[size] = {
-            "berti": geometric_mean(_homog_speedups(
-                runner, "berti", channels, workloads, llc_kib=size)),
-            "berti+clip": geometric_mean(_homog_speedups(
-                runner, "berti+clip", channels, workloads, llc_kib=size)),
+            label: geometric_mean(_homog_speedups(
+                runner, grid[(label, size)], channels, workloads))
+            for label in ("berti", "berti+clip")
         }
     if not quiet:
         rows = [[size, out[size]["berti"], out[size]["berti+clip"]]
@@ -727,11 +839,10 @@ def core_count_sensitivity(runner: Optional[ExperimentRunner] = None,
     for cores, channels in grid:
         key = f"{cores}c/{channels}ch"
         out[key] = {
-            "berti": geometric_mean(_homog_speedups(
-                runner, "berti", channels, workloads, num_cores=cores)),
-            "berti+clip": geometric_mean(_homog_speedups(
-                runner, "berti+clip", channels, workloads,
-                num_cores=cores)),
+            label: geometric_mean(_homog_speedups(
+                runner, _scheme(label, num_cores=cores), channels,
+                workloads))
+            for label in ("berti", "berti+clip")
         }
     if not quiet:
         rows = [[key, out[key]["berti"], out[key]["berti+clip"]]
@@ -765,8 +876,7 @@ def ablation_study(runner: Optional[ExperimentRunner] = None,
     runner = _runner(runner)
     workloads = runner.scale.sample_homogeneous()
     channels = runner.scale.constrained_channels
-    variants = {
-        "full": {},
+    ablations = {
         "no-accuracy": {"use_accuracy_filter": False},
         "no-criticality": {"use_criticality_filter": False},
         "no-priority": {"criticality_conscious_noc_dram": False},
@@ -776,18 +886,19 @@ def ablation_study(runner: Optional[ExperimentRunner] = None,
         "no-branch-history": {"signature_use_branch_history": False},
         "threshold-1": {"criticality_count_threshold": 1},
     }
-    berti = geometric_mean(_homog_speedups(runner, "berti", channels,
-                                           workloads))
+    variants = {"full": _scheme("berti+clip")}
+    variants.update({
+        name: _scheme("berti", clip_overrides=fields)
+        for name, fields in ablations.items()
+    })
+    _submit_homogeneous(runner, [_scheme("berti")] + list(variants.values()),
+                        [channels], workloads)
+    berti = geometric_mean(_homog_speedups(runner, _scheme("berti"),
+                                           channels, workloads))
     out: Dict[str, float] = {"berti (no CLIP)": berti}
-    for name, fields in variants.items():
-        if fields:
-            # "berti" + clip_overrides enables CLIP with modified knobs.
-            out[name] = geometric_mean(_homog_speedups(
-                runner, "berti", channels, workloads,
-                clip_overrides=fields))
-        else:
-            out[name] = geometric_mean(_homog_speedups(
-                runner, "berti+clip", channels, workloads))
+    for name, scheme in variants.items():
+        out[name] = geometric_mean(_homog_speedups(
+            runner, scheme, channels, workloads))
     if not quiet:
         print_figure("Ablation: CLIP design choices (weighted speedup at "
                      "the constrained point)",

@@ -1,13 +1,16 @@
-"""Single-run markdown reports.
+"""Rendering: markdown reports and aligned plain-text tables.
 
 Renders one :class:`SimulationResult` (plus optional comparisons and a
 request trace) as a self-contained markdown document -- the artifact to
-attach to a design discussion or regression ticket.
+attach to a design discussion or regression ticket -- and hosts the
+plain-text table helpers the figure drivers print with (formerly in
+``repro.experiments.reporting``; the numeric mean helpers from that
+module moved to ``repro.experiments.statistics``).
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from typing import Dict, Iterable, Mapping, Optional, Sequence
 
 from repro.sim.metrics import compare_schemes, summarize
 from repro.sim.stats import SimulationResult
@@ -26,6 +29,36 @@ def _cell(value) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"
     return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    materialised = [[_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_figure(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> None:
+    print()
+    print(f"== {title} ==")
+    print(format_table(headers, rows))
+
+
+def series_dict(labels: Sequence[str],
+                values: Sequence[float]) -> Dict[str, float]:
+    return dict(zip(labels, values))
 
 
 def run_report(result: SimulationResult, title: str = "Simulation report",

@@ -1,57 +1,20 @@
-"""Plain-text reporting helpers for the experiment drivers."""
+"""Deprecated shim: this module split into two homes.
+
+* numeric helpers  -> :mod:`repro.experiments.statistics`
+  (``geometric_mean``, ``arithmetic_mean``)
+* table rendering  -> :mod:`repro.experiments.report`
+  (``format_table``, ``print_figure``, ``series_dict``)
+
+Existing ``from repro.experiments.reporting import ...`` statements keep
+working through these re-exports; new code should import from the new
+locations.
+"""
 
 from __future__ import annotations
 
-import statistics
-from typing import Dict, Iterable, Sequence
+from repro.experiments.report import (format_table, print_figure,
+                                      series_dict)
+from repro.experiments.statistics import arithmetic_mean, geometric_mean
 
-
-def geometric_mean(values: Sequence[float]) -> float:
-    """Geometric mean; the conventional average for speedup ratios."""
-    cleaned = [v for v in values if v > 0]
-    if not cleaned:
-        return 0.0
-    return statistics.geometric_mean(cleaned)
-
-
-def arithmetic_mean(values: Sequence[float]) -> float:
-    cleaned = list(values)
-    if not cleaned:
-        return 0.0
-    return sum(cleaned) / len(cleaned)
-
-
-def format_table(headers: Sequence[str],
-                 rows: Iterable[Sequence[object]]) -> str:
-    """Render an aligned ASCII table."""
-    materialised = [[_fmt(cell) for cell in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in materialised:
-        for index, cell in enumerate(row):
-            widths[index] = max(widths[index], len(cell))
-    lines = [
-        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
-        "  ".join("-" * w for w in widths),
-    ]
-    for row in materialised:
-        lines.append("  ".join(cell.ljust(widths[i])
-                               for i, cell in enumerate(row)))
-    return "\n".join(lines)
-
-
-def _fmt(cell: object) -> str:
-    if isinstance(cell, float):
-        return f"{cell:.3f}"
-    return str(cell)
-
-
-def print_figure(title: str, headers: Sequence[str],
-                 rows: Iterable[Sequence[object]]) -> None:
-    print()
-    print(f"== {title} ==")
-    print(format_table(headers, rows))
-
-
-def series_dict(labels: Sequence[str],
-                values: Sequence[float]) -> Dict[str, float]:
-    return dict(zip(labels, values))
+__all__ = ["geometric_mean", "arithmetic_mean", "format_table",
+           "print_figure", "series_dict"]

@@ -1,23 +1,36 @@
-"""Shared experiment runner with result caching.
+"""Shared experiment runner built on the typed sweep layer.
 
 Most figures compare several schemes against the *same* no-prefetching
-baseline on the *same* workload mixes, so the runner memoises simulation
-results by (scheme, mix, scale) within the process; a full figure sweep
-reuses every baseline run.
+baseline on the *same* workload mixes.  The runner canonicalises every
+request into a frozen :class:`~repro.experiments.sweep.RunSpec`, memoises
+results per spec within the process, and — when constructed with a
+:class:`~repro.experiments.sweep.ResultStore` — persists them on disk so
+warm reruns of any figure are free.  Batched requests
+(:meth:`ExperimentRunner.run_sweep`) fan out across processes when the
+runner was constructed with ``jobs > 1``.
+
+The legacy calling convention (scheme *strings* plus ``**overrides``
+kwargs) still works everywhere but is deprecated; it round-trips through
+:class:`~repro.experiments.sweep.Scheme` and emits a
+``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+import warnings
+from dataclasses import dataclass
+from typing import (Dict, Iterable, List, Mapping, Optional, Sequence,
+                    Tuple, Union)
 
-from repro.config import SystemConfig, scaled_config
+from repro.config import SystemConfig
+from repro.experiments.sweep import (ResultStore, RunSpec, Scheme, Sweep,
+                                     run_sweep)
 from repro.sim.stats import SimulationResult, weighted_speedup
-from repro.sim.system import run_system
 from repro.trace.mixes import heterogeneous_mixes, homogeneous_mix
 from repro.trace.workloads import (CLOUDSUITE_WORKLOADS, CVP_WORKLOADS,
                                    SPEC_HOMOGENEOUS_MIXES)
+
+SchemeLike = Union[Scheme, str]
 
 
 @dataclass(frozen=True)
@@ -47,7 +60,10 @@ class BenchScale:
         return SPEC_HOMOGENEOUS_MIXES[::step][:self.homogeneous_sample]
 
 
-#: Scheme name -> config mutations understood by :meth:`ExperimentRunner`.
+#: Legacy scheme-name -> recipe mapping, kept importable for callers that
+#: enumerate the comparison space.  New code should construct
+#: :class:`~repro.experiments.sweep.Scheme` values (or ``Scheme.parse``
+#: these names) instead.
 SCHEMES = {
     "none": {},
     "berti": {"l1": "berti"},
@@ -66,113 +82,115 @@ SCHEMES = {
 
 
 class ExperimentRunner:
-    """Builds configs from scheme names and memoises simulation results."""
+    """Canonicalises experiment requests into specs and caches results."""
 
-    def __init__(self, scale: Optional[BenchScale] = None) -> None:
+    def __init__(self, scale: Optional[BenchScale] = None,
+                 store: Optional[ResultStore] = None,
+                 jobs: int = 1) -> None:
         self.scale = scale or BenchScale()
-        self._cache: Dict[Tuple, SimulationResult] = {}
+        self.store = store
+        self.jobs = jobs
+        self._memo: Dict[RunSpec, SimulationResult] = {}
+        #: Number of simulations actually executed (memo and disk-cache
+        #: hits do not count).
         self.runs = 0
 
     # ------------------------------------------------------------------
+    # Spec construction
+    # ------------------------------------------------------------------
 
-    def config_for(self, scheme: str, channels: int,
+    def coerce_scheme(self, scheme: SchemeLike, overrides: Mapping,
+                      ) -> Scheme:
+        """Accept a typed :class:`Scheme` or the deprecated string form."""
+        if isinstance(scheme, Scheme):
+            if overrides:
+                raise TypeError(
+                    "**overrides cannot be combined with a typed Scheme; "
+                    "use dataclasses.replace on the scheme instead")
+            return scheme
+        warnings.warn(
+            "string schemes and **overrides are deprecated; pass a "
+            "repro.experiments.sweep.Scheme "
+            f"(e.g. Scheme.parse({scheme!r}))",
+            DeprecationWarning, stacklevel=3)
+        return Scheme.from_legacy(scheme, overrides)
+
+    def spec(self, scheme: SchemeLike, mix: Sequence[str], channels: int,
+             **overrides) -> RunSpec:
+        """The canonical :class:`RunSpec` for one request at this scale."""
+        spec_scheme = self.coerce_scheme(scheme, overrides)
+        return RunSpec(scheme=spec_scheme, mix=tuple(mix),
+                       channels=channels,
+                       num_cores=self.scale.num_cores,
+                       sim_instructions=self.scale.sim_instructions)
+
+    def spec_homogeneous(self, scheme: SchemeLike, workload: str,
+                         channels: int, **overrides) -> RunSpec:
+        spec_scheme = self.coerce_scheme(scheme, overrides)
+        cores = spec_scheme.num_cores or self.scale.num_cores
+        return self.spec(spec_scheme, homogeneous_mix(workload, cores),
+                         channels)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, spec: RunSpec) -> SimulationResult:
+        """Run (or recall) one spec."""
+        return self.run_sweep([spec])[spec]
+
+    def run_sweep(self, sweep: Iterable[RunSpec],
+                  ) -> Dict[RunSpec, SimulationResult]:
+        """Execute a batch of independent specs.
+
+        Points already memoised in-process are free; the rest go through
+        :func:`repro.experiments.sweep.run_sweep`, which consults the
+        disk store and fans true misses across ``self.jobs`` processes.
+        """
+        outcome = run_sweep(sweep, jobs=self.jobs, store=self.store,
+                            known=self._memo)
+        self._memo.update(outcome.results)
+        self.runs += outcome.simulated
+        return outcome.results
+
+    # ------------------------------------------------------------------
+    # Legacy surface (thin shims over the spec layer)
+    # ------------------------------------------------------------------
+
+    def config_for(self, scheme: SchemeLike, channels: int,
                    **overrides) -> SystemConfig:
-        try:
-            recipe = dict(SCHEMES[scheme])
-        except KeyError:
-            raise ValueError(f"unknown scheme {scheme!r}; "
-                             f"choose from {sorted(SCHEMES)}") from None
-        recipe.update(overrides)
-        config = scaled_config(
-            num_cores=recipe.pop("num_cores", self.scale.num_cores),
-            channels=channels,
-            sim_instructions=recipe.pop("sim_instructions",
-                                        self.scale.sim_instructions))
-        if "l1" in recipe:
-            config.l1_prefetcher = dataclasses.replace(
-                config.l1_prefetcher, name=recipe.pop("l1"))
-        else:
-            config.l1_prefetcher = dataclasses.replace(
-                config.l1_prefetcher, name="none")
-        if "l2" in recipe:
-            config.l2_prefetcher = dataclasses.replace(
-                config.l2_prefetcher, name=recipe.pop("l2"))
-        if recipe.pop("clip", False):
-            config.clip = dataclasses.replace(config.clip, enabled=True)
-        if "criticality" in recipe:
-            config.criticality.name = recipe.pop("criticality")
-        if "crit_gate" in recipe:
-            config.criticality.gate = recipe.pop("crit_gate")
-        if "throttle" in recipe:
-            config.throttle.name = recipe.pop("throttle")
-        if recipe.pop("hermes", False):
-            config.related = dataclasses.replace(config.related, hermes=True)
-        if recipe.pop("dspatch", False):
-            config.related = dataclasses.replace(config.related,
-                                                 dspatch=True)
-        if "clip_filter_scale" in recipe:
-            factor = recipe.pop("clip_filter_scale")
-            config.clip = dataclasses.replace(
-                config.clip, enabled=True,
-                filter_sets=max(1, int(config.clip.filter_sets * factor)))
-        if "clip_predictor_scale" in recipe:
-            factor = recipe.pop("clip_predictor_scale")
-            config.clip = dataclasses.replace(
-                config.clip, enabled=True,
-                predictor_sets=max(1, int(config.clip.predictor_sets
-                                          * factor)))
-        if "clip_overrides" in recipe:
-            fields = dict(recipe.pop("clip_overrides"))
-            config.clip = dataclasses.replace(config.clip, enabled=True,
-                                              **fields)
-        if "llc_kib" in recipe:
-            config.llc_slice = dataclasses.replace(
-                config.llc_slice, size_kib=recipe.pop("llc_kib"))
-        if recipe:
-            raise ValueError(f"unused overrides: {sorted(recipe)}")
-        return config
+        spec_scheme = self.coerce_scheme(scheme, overrides)
+        return spec_scheme.build_config(channels, self.scale.num_cores,
+                                        self.scale.sim_instructions)
+
+    def run_mix(self, scheme: SchemeLike, mix: Sequence[str],
+                channels: int, **overrides) -> SimulationResult:
+        return self.run(self.spec(scheme, mix, channels, **overrides))
+
+    def run_homogeneous(self, scheme: SchemeLike, workload: str,
+                        channels: int, **overrides) -> SimulationResult:
+        return self.run(self.spec_homogeneous(scheme, workload, channels,
+                                              **overrides))
 
     # ------------------------------------------------------------------
 
-    def run_mix(self, scheme: str, mix: Sequence[str], channels: int,
-                **overrides) -> SimulationResult:
-        key = (scheme, tuple(mix), channels,
-               tuple(sorted((k, repr(v)) for k, v in overrides.items())),
-               self.scale)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        config = self.config_for(scheme, channels, **overrides)
-        if len(mix) != config.num_cores:
-            raise ValueError("mix length does not match core count")
-        result = run_system(config, list(mix), label=scheme)
-        self._cache[key] = result
-        self.runs += 1
-        return result
-
-    def run_homogeneous(self, scheme: str, workload: str, channels: int,
-                        **overrides) -> SimulationResult:
-        cores = overrides.get("num_cores", self.scale.num_cores)
-        return self.run_mix(scheme, homogeneous_mix(workload, cores),
-                            channels, **overrides)
-
-    # ------------------------------------------------------------------
-
-    def speedup_homogeneous(self, scheme: str, workload: str,
+    def speedup_homogeneous(self, scheme: SchemeLike, workload: str,
                             channels: int, **overrides) -> float:
         """Weighted speedup vs no-prefetching at the same channel count."""
-        baseline = self.run_homogeneous("none", workload, channels,
-                                        **_baseline_overrides(overrides))
-        result = self.run_homogeneous(scheme, workload, channels,
-                                      **overrides)
-        return weighted_speedup(result, baseline)
+        spec_scheme = self.coerce_scheme(scheme, overrides)
+        target = self.spec_homogeneous(spec_scheme, workload, channels)
+        base = self.spec_homogeneous(spec_scheme.baseline(), workload,
+                                     channels)
+        results = self.run_sweep([target, base])
+        return weighted_speedup(results[target], results[base])
 
-    def speedup_mix(self, scheme: str, mix: Sequence[str], channels: int,
-                    **overrides) -> float:
-        baseline = self.run_mix("none", mix, channels,
-                                **_baseline_overrides(overrides))
-        result = self.run_mix(scheme, mix, channels, **overrides)
-        return weighted_speedup(result, baseline)
+    def speedup_mix(self, scheme: SchemeLike, mix: Sequence[str],
+                    channels: int, **overrides) -> float:
+        spec_scheme = self.coerce_scheme(scheme, overrides)
+        target = self.spec(spec_scheme, mix, channels)
+        base = self.spec(spec_scheme.baseline(), mix, channels)
+        results = self.run_sweep([target, base])
+        return weighted_speedup(results[target], results[base])
 
     # ------------------------------------------------------------------
 
@@ -184,8 +202,5 @@ class ExperimentRunner:
         return CLOUDSUITE_WORKLOADS + CVP_WORKLOADS
 
 
-def _baseline_overrides(overrides: Dict) -> Dict:
-    """Overrides that must also apply to the no-prefetching baseline
-    (structural knobs like core count or LLC size, not scheme knobs)."""
-    keep = {"num_cores", "sim_instructions", "llc_kib"}
-    return {k: v for k, v in overrides.items() if k in keep}
+__all__ = ["BenchScale", "ExperimentRunner", "SCHEMES", "Scheme",
+           "RunSpec", "Sweep", "ResultStore"]

@@ -1,0 +1,29 @@
+"""Numeric summary helpers shared by the experiment drivers.
+
+Split out of the old ``repro.experiments.reporting`` module (which mixed
+statistics with table rendering); the rendering half now lives in
+``repro.experiments.report``.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Sequence
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; the conventional average for speedup ratios."""
+    cleaned = [v for v in values if v > 0]
+    if not cleaned:
+        return 0.0
+    return statistics.geometric_mean(cleaned)
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    cleaned = list(values)
+    if not cleaned:
+        return 0.0
+    return sum(cleaned) / len(cleaned)
+
+
+__all__ = ["geometric_mean", "arithmetic_mean"]

@@ -8,6 +8,7 @@ scheme, here always no-prefetching with the same DRAM channel count --
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -192,6 +193,51 @@ class SimulationResult:
     def average_l1_miss_latency(self) -> float:
         level = self.levels.get("L1D")
         return level.average_miss_latency if level else 0.0
+
+    # -- serialisation -------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Plain-data form of the result (JSON-safe, stable field order).
+
+        The inverse of :meth:`from_dict`; the round trip is exact, which
+        is what lets the sweep executor ship results across process
+        boundaries and persist them in the on-disk cache
+        (``repro.experiments.sweep``) without loss.
+        """
+        return {
+            "config_label": self.config_label,
+            "cores": [dataclasses.asdict(core) for core in self.cores],
+            "levels": {name: dataclasses.asdict(level)
+                       for name, level in self.levels.items()},
+            "prefetch": dataclasses.asdict(self.prefetch),
+            "clip": (dataclasses.asdict(self.clip)
+                     if self.clip is not None else None),
+            "criticality": (dataclasses.asdict(self.criticality)
+                            if self.criticality is not None else None),
+            "dram": dataclasses.asdict(self.dram),
+            "noc": dataclasses.asdict(self.noc),
+            "total_cycles": self.total_cycles,
+            "branch_accuracy": self.branch_accuracy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimulationResult":
+        """Rebuild a :class:`SimulationResult` written by :meth:`to_dict`."""
+        return cls(
+            config_label=data["config_label"],
+            cores=[CoreResult(**core) for core in data["cores"]],
+            levels={name: LevelStats(**level)
+                    for name, level in data["levels"].items()},
+            prefetch=PrefetchStats(**data["prefetch"]),
+            clip=(ClipResult(**data["clip"])
+                  if data.get("clip") is not None else None),
+            criticality=(CriticalityResult(**data["criticality"])
+                         if data.get("criticality") is not None else None),
+            dram=DramResult(**data["dram"]),
+            noc=NocResult(**data["noc"]),
+            total_cycles=data["total_cycles"],
+            branch_accuracy=data["branch_accuracy"],
+        )
 
 
 def weighted_speedup(result: SimulationResult,

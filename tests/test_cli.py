@@ -85,3 +85,35 @@ class TestCommands:
         assert main(["run", "--cores", "2", "--instructions", "1000",
                      "--prefetcher", "none", "--tlb"]) == 0
         assert "aggregate IPC" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    ARGS = ["sweep", "--schemes", "berti", "berti+clip",
+            "--workloads", "605.mcf_s-1536B", "--channels", "1", "2",
+            "--cores", "2", "--instructions", "1200"]
+
+    def test_cold_then_warm(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        assert main(self.ARGS + cache + ["--jobs", "2"]) == 0
+        cold = capsys.readouterr().out
+        assert "weighted speedup" in cold
+        assert "simulated 6 point(s)" in cold  # 2x2 grid + 2 baselines
+        assert main(self.ARGS + cache) == 0
+        warm = capsys.readouterr().out
+        assert "simulated 0 point(s)" in warm
+        assert "6 of 6 served from the disk cache" in warm
+        # Identical numbers whether simulated (in parallel) or replayed.
+        table = [line for line in cold.splitlines() if "berti" in line]
+        assert table == [line for line in warm.splitlines()
+                         if "berti" in line]
+
+    def test_no_cache_always_simulates(self, tmp_path, capsys):
+        assert main(self.ARGS + ["--no-cache"]) == 0
+        assert "simulated 6 point(s)" in capsys.readouterr().out
+
+    def test_csv_export(self, tmp_path, capsys):
+        path = tmp_path / "sweep.csv"
+        assert main(self.ARGS + ["--no-cache", "--csv", str(path)]) == 0
+        header = path.read_text().splitlines()[0]
+        assert header.startswith("channels,")
+        assert "berti+clip" in header

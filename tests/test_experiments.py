@@ -8,10 +8,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import (BenchScale, ExperimentRunner, figure9,
-                               figure16, table2, table3)
-from repro.experiments.reporting import (format_table, geometric_mean)
+from repro.experiments import (BenchScale, ExperimentRunner, Scheme,
+                               figure9, figure16, table2, table3)
 from repro.experiments.runner import SCHEMES
+from repro.experiments.statistics import geometric_mean
+from repro.experiments.report import format_table
 
 
 TINY = BenchScale(num_cores=2, sim_instructions=1_200,
@@ -35,39 +36,71 @@ class TestReporting:
         assert len(lines) == 4
         assert all(len(line) == len(lines[0]) or True for line in lines)
 
+    def test_reporting_shim_reexports(self):
+        # The old module keeps working after the report/statistics split.
+        from repro.experiments.reporting import (arithmetic_mean,
+                                                 format_table as ft,
+                                                 geometric_mean as gm,
+                                                 print_figure, series_dict)
+        assert gm is geometric_mean and ft is format_table
+        assert callable(arithmetic_mean) and callable(print_figure)
+        assert series_dict(["a"], [1.0]) == {"a": 1.0}
+
 
 class TestRunner:
     def test_all_schemes_build_configs(self, tiny_runner):
         for scheme in SCHEMES:
-            config = tiny_runner.config_for(scheme, channels=1)
+            config = tiny_runner.config_for(Scheme.parse(scheme),
+                                            channels=1)
             config.validate()
 
     def test_unknown_scheme(self, tiny_runner):
-        with pytest.raises(ValueError, match="unknown scheme"):
-            tiny_runner.config_for("oracle", channels=1)
+        with pytest.deprecated_call():
+            with pytest.raises(ValueError, match="unknown scheme"):
+                tiny_runner.config_for("oracle", channels=1)
 
     def test_unused_override_rejected(self, tiny_runner):
-        with pytest.raises(ValueError, match="unused overrides"):
-            tiny_runner.config_for("berti", channels=1, typo_knob=3)
+        with pytest.deprecated_call():
+            with pytest.raises(ValueError, match="unused overrides"):
+                tiny_runner.config_for("berti", channels=1, typo_knob=3)
+
+    def test_legacy_string_path_deprecated_but_equivalent(self,
+                                                          tiny_runner):
+        with pytest.deprecated_call():
+            legacy = tiny_runner.config_for("berti", channels=1,
+                                            criticality="fvp",
+                                            crit_gate=False)
+        typed = tiny_runner.config_for(
+            Scheme.parse("berti", criticality="fvp", crit_gate=False),
+            channels=1)
+        assert legacy == typed
 
     def test_caching(self, tiny_runner):
+        scheme = Scheme.parse("none")
         before = tiny_runner.runs
-        a = tiny_runner.run_homogeneous("none", "605.mcf_s-1536B", 1)
+        a = tiny_runner.run_homogeneous(scheme, "605.mcf_s-1536B", 1)
         mid = tiny_runner.runs
-        b = tiny_runner.run_homogeneous("none", "605.mcf_s-1536B", 1)
+        b = tiny_runner.run_homogeneous(scheme, "605.mcf_s-1536B", 1)
         assert tiny_runner.runs == mid == before + 1
         assert a is b
 
     def test_speedup_vs_self_scheme_baseline(self, tiny_runner):
-        value = tiny_runner.speedup_homogeneous("none", "605.mcf_s-1536B",
-                                                1)
+        value = tiny_runner.speedup_homogeneous(
+            Scheme.parse("none"), "605.mcf_s-1536B", 1)
         assert value == pytest.approx(1.0)
 
     def test_clip_override_plumbed(self, tiny_runner):
         config = tiny_runner.config_for(
-            "berti", 1, clip_overrides={"use_accuracy_filter": False})
+            Scheme.parse("berti",
+                         clip_overrides={"use_accuracy_filter": False}),
+            1)
         assert config.clip.enabled
         assert not config.clip.use_accuracy_filter
+
+    def test_typed_scheme_rejects_kwargs(self, tiny_runner):
+        with pytest.raises(TypeError, match="typed Scheme"):
+            tiny_runner.config_for(Scheme.parse("berti"), 1,
+                                   criticality="fvp")
 
     def test_sample_homogeneous_size(self):
         assert len(TINY.sample_homogeneous()) == 2

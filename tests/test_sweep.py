@@ -1,0 +1,208 @@
+"""Tests for the typed sweep API: Scheme/RunSpec/Sweep, the parallel
+executor, the on-disk result store, and result serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import BenchScale, ExperimentRunner
+from repro.experiments.sweep import (CACHE_SCHEMA_VERSION, ResultStore,
+                                     RunSpec, Scheme, Sweep, execute_spec,
+                                     run_sweep)
+from repro.sim.stats import SimulationResult
+from repro.trace.mixes import homogeneous_mix
+
+MIX = tuple(homogeneous_mix("605.mcf_s-1536B", 2))
+TINY = dict(num_cores=2, sim_instructions=1_000)
+
+
+def tiny_spec(scheme: Scheme, channels: int = 1,
+              mix=MIX) -> RunSpec:
+    return RunSpec(scheme=scheme, mix=mix, channels=channels, **TINY)
+
+
+class TestScheme:
+    def test_parse_maps_levels(self):
+        assert Scheme.parse("berti").l1 == "berti"
+        assert Scheme.parse("bingo").l2 == "bingo"
+        assert Scheme.parse("spp_ppf+clip") == Scheme(l2="spp_ppf",
+                                                      clip=True)
+        assert Scheme.parse("none") == Scheme()
+
+    def test_parse_tokens(self):
+        scheme = Scheme.parse("berti+clip")
+        assert scheme.l1 == "berti" and scheme.clip
+        assert Scheme.parse("berti+hermes").hermes
+        assert Scheme.parse("berti+fvp").criticality == "fvp"
+        assert Scheme.parse("berti+nst").throttle == "nst"
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            Scheme.parse("oracle")
+        with pytest.raises(ValueError, match="unknown scheme token"):
+            Scheme.parse("berti+warp")
+
+    def test_label_round_trips(self):
+        for name in ("none", "berti", "bingo", "berti+clip",
+                     "spp_ppf+clip", "berti+hermes", "berti+dspatch"):
+            assert Scheme.parse(name).label == name
+
+    def test_clip_overrides_canonical_order(self):
+        a = Scheme(l1="berti", clip_overrides={"b": 1, "a": 2})
+        b = Scheme(l1="berti", clip_overrides={"a": 2, "b": 1})
+        assert a == b and hash(a) == hash(b)
+
+    def test_baseline_keeps_structural_knobs_only(self):
+        scheme = Scheme(l1="berti", clip=True, criticality="fvp",
+                        llc_kib=64, num_cores=4, sim_instructions=500)
+        base = scheme.baseline()
+        assert base == Scheme(llc_kib=64, num_cores=4,
+                              sim_instructions=500)
+
+    def test_build_config_structural_precedence(self):
+        scheme = Scheme(l1="berti", num_cores=4, llc_kib=64)
+        config = scheme.build_config(channels=1, num_cores=2,
+                                     sim_instructions=1_000)
+        assert config.num_cores == 4
+        assert config.llc_slice.size_kib == 64
+        assert config.l1_prefetcher.name == "berti"
+
+
+class TestRunSpec:
+    def test_mix_length_validated(self):
+        with pytest.raises(ValueError, match="mix length"):
+            RunSpec(scheme=Scheme(), mix=("a",), channels=1, **TINY)
+
+    def test_cache_key_ignores_override_order(self):
+        # Regression: the legacy runner keyed on repr(overrides), so two
+        # dicts with different insertion order missed the cache.
+        a = tiny_spec(Scheme(l1="berti",
+                             clip_overrides={"use_accuracy_filter": False,
+                                             "dynamic": True}))
+        b = tiny_spec(Scheme(l1="berti",
+                             clip_overrides={"dynamic": True,
+                                             "use_accuracy_filter": False}))
+        assert a == b
+        assert a.cache_key() == b.cache_key()
+
+    def test_cache_key_distinguishes_configs(self):
+        berti = tiny_spec(Scheme(l1="berti"))
+        assert berti.cache_key() != tiny_spec(Scheme()).cache_key()
+        assert (berti.cache_key()
+                != tiny_spec(Scheme(l1="berti"), channels=2).cache_key())
+
+    def test_cache_key_embeds_schema_version(self, monkeypatch):
+        spec = tiny_spec(Scheme())
+        before = spec.cache_key()
+        monkeypatch.setattr("repro.experiments.sweep.CACHE_SCHEMA_VERSION",
+                            CACHE_SCHEMA_VERSION + 1)
+        assert spec.cache_key() != before
+
+
+class TestSweep:
+    def test_product_and_dedup(self):
+        schemes = [Scheme(), Scheme(l1="berti")]
+        sweep = Sweep.product(schemes, [MIX], [1, 2], **TINY)
+        assert len(sweep) == 4
+        assert len(sweep + sweep) == 4  # de-duplicated
+
+    def test_zip_requires_aligned_lengths(self):
+        with pytest.raises(ValueError, match="zip lengths"):
+            Sweep.zip([Scheme()], [MIX, MIX], [1, 2], **TINY)
+
+    def test_with_baselines_adds_reference_points(self):
+        sweep = Sweep.product([Scheme(l1="berti")], [MIX], [1], **TINY)
+        expanded = sweep.with_baselines()
+        assert len(expanded) == 2
+        assert any(spec.scheme == Scheme() for spec in expanded)
+
+
+class TestSerialisation:
+    def test_round_trip_through_json(self):
+        result = SimulationResult.from_dict(
+            execute_spec(tiny_spec(Scheme(l1="berti"))))
+        data = json.loads(json.dumps(result.to_dict()))
+        rebuilt = SimulationResult.from_dict(data)
+        assert rebuilt.to_dict() == result.to_dict()
+        assert rebuilt.ipc_per_core == result.ipc_per_core
+        assert rebuilt.levels["L1D"].demand_accesses == \
+            result.levels["L1D"].demand_accesses
+
+
+class TestExecutor:
+    SPECS = [tiny_spec(Scheme()), tiny_spec(Scheme(l1="berti")),
+             tiny_spec(Scheme(l1="berti", clip=True)),
+             tiny_spec(Scheme(), channels=2)]
+
+    def test_parallel_matches_serial(self):
+        serial = run_sweep(self.SPECS, jobs=1)
+        parallel = run_sweep(self.SPECS, jobs=4)
+        assert serial.simulated == parallel.simulated == len(self.SPECS)
+        assert ({s: r.to_dict() for s, r in serial.results.items()}
+                == {s: r.to_dict() for s, r in parallel.results.items()})
+
+    def test_store_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = run_sweep(self.SPECS[:2], jobs=1, store=store)
+        assert cold.simulated == 2 and cold.cache_hits == 0
+        warm = run_sweep(self.SPECS[:2], jobs=1, store=store)
+        assert warm.simulated == 0 and warm.cache_hits == 2
+        assert ({s: r.to_dict() for s, r in cold.results.items()}
+                == {s: r.to_dict() for s, r in warm.results.items()})
+
+    def test_store_rejects_other_schema_version(self, tmp_path,
+                                                monkeypatch):
+        store = ResultStore(tmp_path)
+        spec = self.SPECS[0]
+        run_sweep([spec], store=store)
+        key = spec.cache_key()
+        assert store.load(key) is not None
+        payload = json.loads(store.path_for(key).read_text())
+        payload["schema"] = CACHE_SCHEMA_VERSION + 1
+        store.path_for(key).write_text(json.dumps(payload))
+        assert store.load(key) is None
+
+    def test_store_ignores_corrupt_entry(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = self.SPECS[0]
+        key = spec.cache_key()
+        store.path_for(key).parent.mkdir(parents=True)
+        store.path_for(key).write_text("{not json")
+        assert store.load(key) is None
+        outcome = run_sweep([spec], store=store)
+        assert outcome.simulated == 1
+
+
+class TestRunnerIntegration:
+    SCALE = BenchScale(num_cores=2, sim_instructions=1_000,
+                       channel_sweep=(1, 2), constrained_channels=1,
+                       homogeneous_sample=2, heterogeneous_mixes=1)
+
+    def test_warm_rerun_skips_simulation(self, tmp_path):
+        store = ResultStore(tmp_path)
+        sweep = Sweep.product([Scheme(), Scheme(l1="berti")], [MIX],
+                              [1, 2], **TINY)
+        cold = ExperimentRunner(self.SCALE, store=store)
+        cold.run_sweep(sweep)
+        assert cold.runs == len(sweep)
+        warm = ExperimentRunner(self.SCALE, store=store)
+        results = warm.run_sweep(sweep)
+        assert warm.runs == 0
+        assert set(results) == set(sweep)
+
+    def test_parallel_runner_matches_serial(self, tmp_path):
+        sweep = Sweep.product([Scheme(), Scheme(l1="ipcp")], [MIX], [1],
+                              **TINY)
+        serial = ExperimentRunner(self.SCALE).run_sweep(sweep)
+        parallel = ExperimentRunner(self.SCALE, jobs=2).run_sweep(sweep)
+        assert ({s: r.to_dict() for s, r in serial.items()}
+                == {s: r.to_dict() for s, r in parallel.items()})
+
+    def test_memo_prevents_duplicate_disk_reads(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = ExperimentRunner(self.SCALE, store=store)
+        spec = tiny_spec(Scheme(l1="berti"))
+        first = runner.run(spec)
+        assert runner.run(spec) is first  # memo, not a fresh from_dict
