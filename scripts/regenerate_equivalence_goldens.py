@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Regenerate the hierarchy-refactor equivalence goldens.
+
+Runs every point in ``tests/equivalence_points.py`` and rewrites the
+golden ``SimulationResult.to_dict()`` JSON under
+``tests/data/equivalence/``.  Only run this when a simulator behaviour
+change is intended and reviewed -- the whole value of the goldens is
+that refactors which are supposed to be behaviour-preserving cannot
+silently drift.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "tests"))
+
+from equivalence_points import GOLDEN_DIR, POINTS  # noqa: E402
+
+from repro.sim.system import run_system  # noqa: E402
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, build in POINTS.items():
+        config, mix = build()
+        result = run_system(config, mix)
+        payload = {"point": name, "workloads": mix,
+                   "result": result.to_dict()}
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True)
+                        + "\n")
+        print(f"wrote {path} (total_cycles={result.total_cycles})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,8 @@ SIM004    loop-variable-capture    no callbacks capturing loop variables
 SIM005    unregistered-counter     stats counters registered before increment
 SIM006    bare-assert              invariants survive ``python -O``
 SIM007    wall-clock               no wall-clock reads in simulation code
+SIM008    port-bypass              hierarchy components schedule via Port,
+                                   not the engine
 ========  =======================  =============================================
 """
 
@@ -400,6 +402,51 @@ class WallClockRule(Rule):
                 f"simulation code must use engine.now")
 
 
+class PortBypassRule(Rule):
+    """SIM008: hierarchy components never call ``engine.schedule``.
+
+    In :mod:`repro.sim.hierarchy` all latency and back-pressure is owned
+    by :class:`~repro.sim.hierarchy.port.Port`: components schedule
+    future work through ``port.schedule`` (or a ``NocLink`` delivery),
+    never against the engine directly.  A direct ``engine.schedule``
+    bypasses the port seam -- the runtime sanitizer's wrappers, any
+    future port-level arbitration, and the single place where MSHR
+    replay interleaves with timing.  ``port.py`` itself is the one
+    sanctioned caller.
+    """
+
+    id = "SIM008"
+    name = "port-bypass"
+    summary = "direct engine.schedule call in a hierarchy component"
+
+    #: The Port implementation is the one sanctioned engine caller.
+    _EXEMPT = ("src/repro/sim/hierarchy/port.py",)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> Iterator[Violation]:
+        if "sim/hierarchy/" not in ctx.path or ctx.path in self._EXEMPT:
+            return
+        if not isinstance(node, ast.Call):
+            return
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr == "schedule"):
+            return
+        base = func.value
+        if isinstance(base, ast.Name):
+            base_name = base.id
+        elif isinstance(base, ast.Attribute):
+            base_name = base.attr
+        else:
+            return
+        if base_name == "engine":
+            yield self.violation(
+                ctx, node,
+                "hierarchy component schedules directly against the "
+                "engine; route latency through its Port "
+                "(port.schedule/NocLink) so back-pressure and replay "
+                "stay in one place")
+
+
 #: The default rule set, in catalogue order.
 ALL_RULES: List[Rule] = [
     UnseededRandomRule(),
@@ -409,6 +456,7 @@ ALL_RULES: List[Rule] = [
     UnregisteredCounterRule(),
     BareAssertRule(),
     WallClockRule(),
+    PortBypassRule(),
 ]
 
 

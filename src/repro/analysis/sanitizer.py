@@ -367,7 +367,7 @@ def install_sanitizer(system: Any) -> Sanitizer:
         sanitizer.wrap_mshr(mshr_file, f"LLC[{slice_id}] MSHR")
     for node in system.nodes:
         sanitizer.wrap_cache(node.l1d, f"core{node.core_id}.L1D")
-        sanitizer.wrap_cache(node.l2, f"core{node.core_id}.L2")
+        sanitizer.wrap_cache(node.l2_cache, f"core{node.core_id}.L2")
         sanitizer.wrap_mshr(node.l1_mshr, f"core{node.core_id}.L1 MSHR")
         sanitizer.wrap_mshr(node.l2_mshr, f"core{node.core_id}.L2 MSHR")
     for core in system.cores:

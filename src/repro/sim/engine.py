@@ -34,6 +34,11 @@ class Engine:
         self._events: List[Tuple[int, int, Callable[[], None]]] = []
         self._sequence = 0
         self.events_processed = 0
+        #: Cycle at which the post-run quiescence drain finished (the last
+        #: in-flight memory event); equals the finish cycle when nothing
+        #: was in flight.  ``now`` stays monotonic through the drain and
+        #: ends here -- it is never rewound.
+        self.quiesce_cycle = 0
 
     def schedule(self, cycle: int, callback: Callable[[], None]) -> None:
         """Run ``callback`` at ``cycle`` (>= now)."""
@@ -56,7 +61,10 @@ class Engine:
 
         After the last core retires, remaining memory events (in-flight
         prefetches, writebacks) are drained so the hardware ends quiescent
-        and statistics are complete.
+        and statistics are complete.  ``now`` advances monotonically
+        through that drain (the sanitizer's time-monotonicity invariant
+        holds end to end) and is left at :attr:`quiesce_cycle`; the
+        *returned* value is still the cycle the last core retired.
         """
         while True:
             active = [core for core in cores if not core.done]
@@ -65,7 +73,7 @@ class Engine:
                 while self._events:
                     self.now = max(self.now, self._events[0][0])
                     self._drain_events_at(self.now)
-                self.now = finish
+                self.quiesce_cycle = self.now
                 return finish
             next_cycle = float("inf")
             if self._events:

@@ -1,0 +1,45 @@
+"""Component-based memory hierarchy: typed messages, ports, layers.
+
+The package decomposes the memory system into explicit components
+connected by typed messages (:class:`MemoryRequest` /
+:class:`MemoryResponse`), with all back-pressure and latency scheduling
+owned by :class:`Port`:
+
+    Core -> L1Node -> L2Node -> NocLink -> LlcSlice -> DramPort
+
+:class:`Hierarchy` builds and wires the graph from a ``SystemConfig``;
+:class:`PrefetchFilterChain` stacks the paper's filters (DSPatch, CLIP
+or a baseline criticality gate, throttling epochs) in front of
+:meth:`L1Node.issue_prefetch`.  See ``docs/simulator.md`` for the
+architecture walkthrough.
+"""
+
+from repro.sim.hierarchy.dram_port import DramPort
+from repro.sim.hierarchy.filters import PrefetchFilterChain
+from repro.sim.hierarchy.l1 import L1Node
+from repro.sim.hierarchy.l2 import L2Node
+from repro.sim.hierarchy.llc import LlcSlice
+from repro.sim.hierarchy.messages import (LINE_SHIFT, CORE_SPACE_SHIFT,
+                                          MemoryRequest, MemoryResponse,
+                                          privatize)
+from repro.sim.hierarchy.noc_link import NocLink
+from repro.sim.hierarchy.node import CoreNode
+from repro.sim.hierarchy.port import Port
+from repro.sim.hierarchy.wiring import Hierarchy
+
+__all__ = [
+    "CORE_SPACE_SHIFT",
+    "CoreNode",
+    "DramPort",
+    "Hierarchy",
+    "L1Node",
+    "L2Node",
+    "LINE_SHIFT",
+    "LlcSlice",
+    "MemoryRequest",
+    "MemoryResponse",
+    "NocLink",
+    "Port",
+    "PrefetchFilterChain",
+    "privatize",
+]

@@ -1,0 +1,47 @@
+"""Off-chip port: the hierarchy's one gateway to the DRAM system.
+
+Wraps :class:`repro.dram.controller.DramSystem` with the exact surface
+the on-chip components need -- line reads/writes plus the two bandwidth
+signals the paper's mechanisms consume: global utilization (CLIP's
+probe, throttler snapshots) and per-channel utilization (DSPatch's
+deliberately myopic local signal).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dram.controller import DramSystem
+from repro.sim.engine import Engine
+
+
+class DramPort:
+    """Read/write access plus bandwidth-utilization probes."""
+
+    __slots__ = ("dram", "engine")
+
+    def __init__(self, dram: DramSystem, engine: Engine) -> None:
+        self.dram = dram
+        self.engine = engine
+
+    def read(self, line: int, now: int, callback: Callable[[int], None],
+             is_prefetch: bool, crit: bool) -> None:
+        self.dram.read(line, now, callback, is_prefetch=is_prefetch,
+                       crit=crit)
+
+    def write(self, line: int, now: int) -> None:
+        self.dram.write(line, now)
+
+    def utilization(self, at: int) -> float:
+        """Global DRAM data-bus utilization up to cycle ``at``."""
+        return self.dram.utilization(max(1, at))
+
+    def utilization_now(self) -> float:
+        """CLIP's bandwidth probe: utilization at the current cycle."""
+        return self.dram.utilization(max(1, self.engine.now))
+
+    def channel_utilization(self, line: int) -> float:
+        """DSPatch's myopic signal: utilization of ``line``'s channel."""
+        where = self.dram.mapping.locate(line)
+        channel = self.dram.channels[where.channel]
+        return channel.stats.utilization(max(1, self.engine.now))

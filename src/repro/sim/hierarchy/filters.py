@@ -1,0 +1,132 @@
+"""Per-core prefetch filter chain: DSPatch -> CLIP / criticality gate.
+
+Every prefetch candidate a core's prefetchers produce passes through one
+:class:`PrefetchFilterChain` before reaching the issuing layer:
+
+1. **DSPatch modulation** (when enabled) rewrites the candidate list
+   against its myopic per-channel bandwidth signal;
+2. **CLIP** (paper section 4.2) admits only candidates whose trigger is
+   predicted load-critical under the current bandwidth regime, tagging
+   survivors with the criticality flag; *or*, when a baseline
+   criticality predictor is configured as a gate, that predictor admits
+   by trigger IP;
+3. survivors are handed to the chain's ``issue`` hook -- the L1 node's
+   issuing logic (duplicate suppression, MSHR reservation, fill-level
+   demotion).
+
+The chain also owns the **throttling epoch** (FDP/HPAC/SPAC/NST): every
+``_THROTTLE_EPOCH`` demand L1D accesses it snapshots accuracy/lateness/
+pollution/occupancy and rescales the prefetchers' degree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, TYPE_CHECKING
+
+from repro.prefetch.base import PrefetchRequest
+from repro.sim.stats import PrefetchStats
+from repro.throttle.base import ThrottleSnapshot
+
+if TYPE_CHECKING:
+    from repro.sim.hierarchy.dram_port import DramPort
+    from repro.sim.hierarchy.node import CoreNode
+
+#: Demand L1D accesses per throttling epoch.
+_THROTTLE_EPOCH = 1024
+
+
+class PrefetchFilterChain:
+    """The CLIP / criticality-gate / DSPatch / throttle hook stack."""
+
+    __slots__ = ("node", "clip", "crit_gate", "gate_enabled", "dspatch",
+                 "throttler", "stats", "dram", "channel_utilization",
+                 "issue")
+
+    def __init__(self, node: "CoreNode", stats: PrefetchStats,
+                 dram: "DramPort",
+                 channel_utilization: Callable[[int], float],
+                 gate_enabled: bool) -> None:
+        self.node = node
+        self.clip = None
+        self.crit_gate = None
+        #: Baseline predictors can *measure* without gating; only a
+        #: configured gate may drop candidates.
+        self.gate_enabled = gate_enabled
+        self.dspatch = None
+        self.throttler = None
+        self.stats = stats
+        self.dram = dram
+        self.channel_utilization = channel_utilization
+        #: Issuing-layer hook, wired to ``L1Node.issue_prefetch``.
+        self.issue: Callable[[PrefetchRequest, int, bool], None] = (
+            lambda request, cycle, crit: None)
+
+    # ------------------------------------------------------------------
+    # Candidate filtering
+    # ------------------------------------------------------------------
+
+    def handle(self, candidates: List[PrefetchRequest], cycle: int,
+               dspatch_generated: bool = False) -> None:
+        """Filter ``candidates`` and hand survivors to the issuing layer."""
+        stats = self.stats
+        node = self.node
+        if self.dspatch is not None and not dspatch_generated:
+            candidates = self.dspatch.filter_candidates(
+                candidates, self.channel_utilization)
+        for request in candidates:
+            stats.candidates += 1
+            crit = False
+            if self.clip is not None:
+                allowed, crit = self.clip.filter_request(
+                    request.trigger_ip, request.address, cycle)
+                if not allowed:
+                    node.pf_dropped_filter += 1
+                    stats.dropped_filter += 1
+                    continue
+            elif self.crit_gate is not None and self.gate_enabled:
+                if not self.crit_gate.predicts_critical_ip(
+                        request.trigger_ip):
+                    node.pf_dropped_filter += 1
+                    stats.dropped_filter += 1
+                    continue
+            self.issue(request, cycle, crit)
+
+    # ------------------------------------------------------------------
+    # Throttling epochs
+    # ------------------------------------------------------------------
+
+    def note_demand_access(self, cycle: int) -> None:
+        """Count one demand L1D access; close the epoch when it fills."""
+        if self.throttler is None:
+            return
+        node = self.node
+        node.epoch_accesses += 1
+        if node.epoch_accesses < _THROTTLE_EPOCH:
+            return
+        node.epoch_accesses = 0
+        l1, l2 = node.l1, node.l2
+        late = (l1.port.mshr.late_prefetch_merges
+                + l2.port.mshr.late_prefetch_merges)
+        pollution = (l1.cache.stats.useless_evictions
+                     + l2.cache.stats.useless_evictions)
+        issued, useful, base_late, base_pollution = node.epoch_base
+        d_issued = node.pf_issued - issued
+        d_useful = node.pf_useful - useful
+        d_late = late - base_late
+        d_pollution = pollution - base_pollution
+        node.epoch_base = (node.pf_issued, node.pf_useful, late, pollution)
+        accuracy = d_useful / d_issued if d_issued else 0.0
+        lateness = d_late / d_useful if d_useful else 0.0
+        poll = d_pollution / d_issued if d_issued else 0.0
+        occupancy = ((len(l1.port.mshr.entries) + len(l2.port.mshr.entries))
+                     / (l1.port.mshr.capacity + l2.port.mshr.capacity))
+        snapshot = ThrottleSnapshot(
+            accuracy=min(1.0, accuracy), lateness=min(1.0, lateness),
+            pollution=min(1.0, poll),
+            dram_utilization=self.dram.utilization(cycle),
+            mshr_occupancy=occupancy, issued=d_issued)
+        scale = self.throttler.decide(snapshot)
+        if l1.prefetcher is not None:
+            l1.prefetcher.set_degree_scale(scale)
+        if l2.prefetcher is not None:
+            l2.prefetcher.set_degree_scale(scale)

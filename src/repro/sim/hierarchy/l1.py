@@ -1,0 +1,298 @@
+"""L1D node: the hierarchy's issuing layer for one core.
+
+Owns the private L1D cache, its MSHR port, the L1 prefetcher, and the
+core-facing mechanisms that act at issue time: MMU translation, CLIP's
+access/miss observation, DSPatch's candidate generation, and Hermes'
+off-chip prediction.  Demands enter here (``issue_load`` /
+``issue_store``); filtered prefetch candidates re-enter through
+``issue_prefetch`` (the :class:`~repro.sim.hierarchy.filters.
+PrefetchFilterChain`'s issue hook) and descend the same miss path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.cache.cache import Cache
+from repro.cpu.core_model import ServiceLevel
+from repro.prefetch.base import PrefetchRequest
+from repro.sim.hierarchy.messages import MemoryRequest, privatize
+from repro.sim.hierarchy.port import Port
+from repro.sim.stats import PrefetchStats
+from repro.sim.tracing import RequestRecord, RequestTrace
+
+if TYPE_CHECKING:
+    from repro.sim.hierarchy.dram_port import DramPort
+    from repro.sim.hierarchy.l2 import L2Node
+    from repro.sim.hierarchy.llc import LlcSlice
+    from repro.sim.hierarchy.node import CoreNode
+
+
+class L1Node:
+    """Private L1D: cache + MSHR port + prefetcher + issue mechanisms."""
+
+    __slots__ = ("node", "core_id", "cache", "port", "prefetcher",
+                 "latency", "mmu", "clip", "hermes", "hermes_pending",
+                 "stats", "trace", "downstream", "offchip", "slices")
+
+    def __init__(self, node: "CoreNode", cache: Cache, port: Port,
+                 prefetcher, latency: int, stats: PrefetchStats,
+                 trace: Optional[RequestTrace], mmu=None, clip=None,
+                 hermes=None) -> None:
+        self.node = node
+        self.core_id = node.core_id
+        self.cache = cache
+        self.port = port
+        self.prefetcher = prefetcher
+        self.latency = latency
+        self.stats = stats
+        self.trace = trace
+        self.mmu = mmu
+        self.clip = clip
+        self.hermes = hermes
+        #: Hermes launches in flight: line -> continuations awaiting it.
+        self.hermes_pending: Dict[int, List[Callable]] = {}
+        # Wired after construction.
+        self.downstream: "L2Node"
+        self.offchip: "DramPort"
+        self.slices: List["LlcSlice"]
+
+    # ------------------------------------------------------------------
+    # Core-facing interface
+    # ------------------------------------------------------------------
+
+    def issue_load(self, address: int, ip: int, cycle: int,
+                   callback: Callable) -> None:
+        if self.mmu is not None:
+            translation = self.mmu.translate(address)
+            if translation:
+                # Re-enter after the TLB/page-walk latency has elapsed.
+                self.port.schedule(
+                    cycle + translation,
+                    lambda: self._load_translated(address, ip,
+                                                  self.port.now, callback))
+                return
+        self._load_translated(address, ip, cycle, callback)
+
+    def _load_translated(self, address: int, ip: int, cycle: int,
+                         callback: Callable) -> None:
+        node = self.node
+        line = privatize(self.core_id, address)
+        if self.clip is not None:
+            self.clip.on_l1d_access(line, cycle)
+        node.chain.note_demand_access(cycle)
+        hit = self.cache.access(line, ip, cycle)
+        if self.prefetcher is not None:
+            candidates = self.prefetcher.on_access(ip, address, hit, cycle)
+            if candidates:
+                node.chain.handle(candidates, cycle)
+        dspatch = node.chain.dspatch
+        if dspatch is not None:
+            extra = dspatch.observe(ip, address,
+                                    node.chain.channel_utilization)
+            if extra:
+                node.chain.handle(extra, cycle, dspatch_generated=True)
+        if self.hermes is not None:
+            callback = self._wrap_hermes(ip, address, callback)
+        if hit:
+            done = cycle + self.latency
+            if self.trace is not None:
+                self.trace.append(RequestRecord(
+                    self.core_id, address, cycle, done, ServiceLevel.L1,
+                    False))
+            self.port.schedule(
+                done, lambda: callback(done, ServiceLevel.L1))
+            return
+        node.demand_l1_misses += 1
+        if self.clip is not None:
+            self.clip.on_l1d_miss(cycle)
+        if self.hermes is not None and self.hermes.predict_offchip(ip,
+                                                                   address):
+            self._hermes_launch(line, cycle)
+        self.request(
+            MemoryRequest(line=line, address=address, ip=ip,
+                          core_id=self.core_id, t0=cycle),
+            cycle, callback)
+
+    def issue_store(self, address: int, ip: int, cycle: int) -> None:
+        if self.mmu is not None:
+            translation = self.mmu.translate(address)
+            if translation:
+                self.port.schedule(
+                    cycle + translation,
+                    lambda: self._store_translated(address, ip,
+                                                   self.port.now))
+                return
+        self._store_translated(address, ip, cycle)
+
+    def _store_translated(self, address: int, ip: int, cycle: int) -> None:
+        node = self.node
+        line = privatize(self.core_id, address)
+        if self.clip is not None:
+            self.clip.on_l1d_access(line, cycle)
+        node.chain.note_demand_access(cycle)
+        hit = self.cache.access(line, ip, cycle, is_write=True)
+        if hit:
+            return
+        node.demand_l1_misses += 1
+        if self.clip is not None:
+            self.clip.on_l1d_miss(cycle)
+        # Write-allocate: fetch the line (RFO) and fill it dirty.
+        self.request(
+            MemoryRequest(line=line, address=address, ip=ip,
+                          core_id=self.core_id, is_store=True, t0=cycle),
+            cycle, callback=None)
+
+    # ------------------------------------------------------------------
+    # Hermes
+    # ------------------------------------------------------------------
+
+    def _wrap_hermes(self, ip: int, address: int,
+                     callback: Callable) -> Callable:
+        def trained(done: int, level: ServiceLevel) -> None:
+            self.hermes.train(ip, address, level == ServiceLevel.DRAM)
+            callback(done, level)
+        return trained
+
+    def _hermes_launch(self, line: int, cycle: int) -> None:
+        if line in self.hermes_pending or len(self.hermes_pending) > 256:
+            return
+        self.hermes_pending[line] = []
+        self.offchip.read(line, cycle,
+                          lambda t: self._hermes_done(line, t),
+                          is_prefetch=False, crit=False)
+
+    def _hermes_done(self, line: int, t: int) -> None:
+        waiters = self.hermes_pending.pop(line, [])
+        slice_ = self.slices[line % len(self.slices)]
+        slice_.fill(line, t, pc=0, prefetch=not waiters)
+        for continuation in waiters:
+            continuation(t)
+
+    # ------------------------------------------------------------------
+    # Prefetch issuing (the filter chain's issue hook)
+    # ------------------------------------------------------------------
+
+    def issue_prefetch(self, request: PrefetchRequest, cycle: int,
+                       crit: bool) -> None:
+        node = self.node
+        stats = self.stats
+        line = privatize(self.core_id, request.address)
+        # CLIP-selected prefetches from an L1 prefetcher always fill to L1
+        # (section 4.2: the requests are known critical and accurate);
+        # otherwise the prefetcher's requested fill level stands.
+        if self.clip is not None and self.prefetcher is not None:
+            fill_level = 1
+        else:
+            fill_level = request.fill_level
+        l2 = self.downstream
+        if (self.cache.probe(line) or l2.cache.probe(line)
+                or l2.port.lookup(line) is not None
+                or self.port.lookup(line) is not None):
+            node.pf_dropped_duplicate += 1
+            stats.dropped_duplicate += 1
+            return
+        if fill_level == 1 and self.port.full:
+            # Demote to an L2 fill (Berti orchestrates fills across L1..L3;
+            # a prefetch that cannot park at L1 still moves the line on
+            # chip).
+            fill_level = 2
+        if fill_level != 1 and l2.port.full:
+            node.pf_dropped_mshr += 1
+            stats.dropped_mshr += 1
+            return
+        node.pf_issued += 1
+        stats.issued += 1
+        if self.clip is not None:
+            self.clip.on_prefetch_issued(line, request.trigger_ip)
+        req = MemoryRequest(line=line, address=request.address,
+                            ip=request.trigger_ip, core_id=self.core_id,
+                            is_prefetch=True, crit=crit, t0=cycle)
+        if fill_level == 1:
+            self.request(req, cycle, callback=None)
+        else:
+            l2.request(req, cycle, respond=None)
+
+    # ------------------------------------------------------------------
+    # Miss path
+    # ------------------------------------------------------------------
+
+    def request(self, req: MemoryRequest, cycle: int,
+                callback: Optional[Callable]) -> None:
+        """Handle an L1 miss (or L1-fill prefetch) for ``req.line``."""
+        node = self.node
+        line = req.line
+        if req.is_prefetch and self.cache.probe(line):
+            # A demand fetched the line while this prefetch queued.
+            node.pf_dropped_duplicate += 1
+            self.stats.dropped_duplicate += 1
+            return
+        mshr = self.port.lookup(line)
+        if mshr is not None:
+            waiter = (callback, req.t0) if callback is not None else None
+            was_late = mshr.is_prefetch and not mshr.demand_merged
+            self.port.merge(mshr, waiter, req.is_prefetch)
+            if was_late and not req.is_prefetch:
+                # Late but useful: the paper counts these as accurate.
+                self.stats.late += 1
+                self.stats.useful += 1
+                node.pf_useful += 1
+            if req.is_store:
+                mshr.dirty = True
+            return
+        if self.port.full:
+            if req.is_prefetch:
+                # Lost a race with demand allocations since the issue-time
+                # check; fall back to the L2 fill path.
+                self.downstream.request(req, cycle, respond=None)
+                return
+            self.port.defer(
+                lambda: self.request(req, self.port.now, callback))
+            return
+        mshr = self.port.allocate(line, req.is_prefetch, req.crit, req.ip,
+                                  cycle)
+        mshr.address = req.address
+        mshr.dirty = req.is_store
+        # Berti times deltas against the *demand* cycle; when the miss sat
+        # in the pending queue first, allocation time would understate the
+        # latency and invert the timeliness test.
+        mshr.allocated_at = req.t0
+        if callback is not None:
+            mshr.waiters.append((callback, req.t0))
+        self.port.schedule(
+            cycle + self.latency,
+            lambda: self.downstream.request(req, self.port.now,
+                                            respond=self._complete))
+
+    def _complete(self, resp) -> None:
+        """Fill from below: release the MSHR, fill the cache, wake waiters."""
+        node = self.node
+        line, t, level = resp.line, resp.at, resp.level
+        mshr = self.port.release(line)
+        prefetch_fill = mshr.is_prefetch and not mshr.demand_merged
+        evicted = self.cache.fill(line, mshr.trigger_ip, t,
+                                  dirty=mshr.dirty, prefetch=prefetch_fill,
+                                  trigger_ip=mshr.trigger_ip)
+        if evicted is not None and evicted.dirty:
+            self.downstream.accept_writeback(evicted.line, t)
+        if self.prefetcher is not None and not mshr.is_prefetch:
+            more = self.prefetcher.on_fill(mshr.address, t, prefetch=False,
+                                           ip=mshr.trigger_ip,
+                                           issued_at=mshr.allocated_at)
+            if more:
+                node.chain.handle(more, t)
+        for callback, t0 in mshr.waiters:
+            latency = t - t0
+            if self.trace is not None:
+                self.trace.append(RequestRecord(
+                    self.core_id, mshr.address, t0, t, ServiceLevel(level),
+                    mshr.is_prefetch))
+            for lvl in range(ServiceLevel.L1, min(level,
+                                                  ServiceLevel.DRAM) + 1):
+                if lvl < level:
+                    # The load missed at lvl; its latency counts toward
+                    # lvl's demand miss latency (Fig. 3 accounting).
+                    node.lat_sum[lvl] += latency
+                    node.lat_count[lvl] += 1
+            callback(t, level)
+        self.port.replay()

@@ -1,0 +1,116 @@
+"""Shared LLC slice: cache bank + MSHR port + DRAM-side traffic.
+
+Each slice owns ``1/num_slices`` of the shared LLC.  Lines are mapped
+slice-local before touching the bank (the slice-selection bits are
+stripped so the set index uses fresh bits); dirty victims reconstruct
+the global line address before the DRAM write.  Responses travel back
+to the requesting core's L2 node as data packets over the NoC.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cache.cache import Cache
+from repro.cpu.core_model import ServiceLevel
+from repro.sim.hierarchy.dram_port import DramPort
+from repro.sim.hierarchy.messages import MemoryRequest, MemoryResponse
+from repro.sim.hierarchy.noc_link import NocLink
+from repro.sim.hierarchy.port import Port
+
+if TYPE_CHECKING:
+    from repro.sim.hierarchy.node import CoreNode
+
+
+class LlcSlice:
+    """One bank of the shared LLC plus its MSHR and DRAM gateway."""
+
+    __slots__ = ("slice_id", "cache", "port", "latency", "num_slices",
+                 "link", "dram")
+
+    def __init__(self, slice_id: int, cache: Cache, port: Port,
+                 latency: int, num_slices: int, link: NocLink,
+                 dram: DramPort) -> None:
+        self.slice_id = slice_id
+        self.cache = cache
+        self.port = port
+        self.latency = latency
+        self.num_slices = num_slices
+        self.link = link
+        self.dram = dram
+
+    def _local(self, line: int) -> int:
+        """Slice-local line address: the slice-selection bits are stripped
+        so the slice's set index uses fresh bits (otherwise only 1-in-
+        num_slices of each slice's sets would ever be used)."""
+        return line // self.num_slices
+
+    def lookup(self, req: MemoryRequest, origin: "CoreNode") -> None:
+        """Serve ``req`` for ``origin``'s L2: hit, merge, or go to DRAM."""
+        now = self.port.now
+        line = req.line
+        high = req.high_priority
+        hit = self.cache.access(self._local(line), req.ip, now,
+                                is_demand=not req.is_prefetch)
+        if hit:
+            ready = now + self.latency
+            self.link.data(
+                self.slice_id, origin.core_id, ready, high,
+                deliver=lambda: origin.l2.complete(MemoryResponse(
+                    line, self.port.now, ServiceLevel.LLC)))
+            return
+        # Hermes may already have the line in flight from DRAM.
+        if origin.hermes is not None and line in origin.hermes_pending:
+            origin.hermes_pending[line].append(
+                lambda t: self._return_data(origin, line,
+                                            max(t, now + self.latency),
+                                            high, ServiceLevel.DRAM))
+            return
+        mshr = self.port.lookup(line)
+
+        def waiter(t: int) -> None:
+            self._return_data(origin, line, t, high, ServiceLevel.DRAM)
+
+        if mshr is not None:
+            self.port.merge(mshr, waiter, req.is_prefetch)
+            return
+        if self.port.full:
+            # Every request reaching the LLC holds an L2 MSHR upstream, so
+            # nothing may be dropped here -- queue until a register frees.
+            self.port.defer(lambda: self.lookup(req, origin))
+            return
+        mshr = self.port.allocate(line, req.is_prefetch, req.crit, req.ip,
+                                  now)
+        mshr.waiters.append(waiter)
+        ready = now + self.latency
+        self.port.schedule(
+            ready,
+            lambda: self.dram.read(
+                line, self.port.now,
+                lambda t: self._dram_done(line, t),
+                is_prefetch=req.is_prefetch, crit=req.crit))
+
+    def _dram_done(self, line: int, t: int) -> None:
+        mshr = self.port.release(line)
+        prefetch_fill = mshr.is_prefetch and not mshr.demand_merged
+        self.fill(line, t, pc=mshr.trigger_ip, prefetch=prefetch_fill)
+        for waiter in mshr.waiters:
+            waiter(t)
+        self.port.replay()
+
+    def fill(self, line: int, t: int, pc: int, prefetch: bool,
+             dirty: bool = False) -> None:
+        """Install ``line`` into the bank; dirty victims write to DRAM."""
+        evicted = self.cache.fill(self._local(line), pc, t, dirty=dirty,
+                                  prefetch=prefetch)
+        if evicted is not None and evicted.dirty:
+            # Reconstruct the global line address from the slice-local one.
+            victim_line = evicted.line * self.num_slices + self.slice_id
+            self.dram.write(victim_line, t)
+
+    def _return_data(self, origin: "CoreNode", line: int, t: int,
+                     high: bool, level: ServiceLevel) -> None:
+        self.link.data(
+            self.slice_id, origin.core_id, t, high,
+            deliver=lambda: origin.l2.complete(MemoryResponse(
+                line, self.port.now, level)))

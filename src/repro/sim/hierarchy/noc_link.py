@@ -1,0 +1,44 @@
+"""NoC adapter: typed send + delivery scheduling for hierarchy traffic.
+
+The mesh itself (:class:`repro.noc.mesh.MeshNoc`) is a timing model --
+it answers "when does this packet arrive".  :class:`NocLink` is the
+hierarchy-side adapter that turns an arrival time into a delivered
+message by scheduling the receiver's handler through a
+:class:`~repro.sim.hierarchy.port.Port` (never the engine directly).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.noc.mesh import MeshNoc
+from repro.sim.hierarchy.port import Port
+
+
+class NocLink:
+    """Request/data packet transport between L2 nodes and LLC slices."""
+
+    __slots__ = ("noc", "port")
+
+    def __init__(self, noc: MeshNoc, port: Port) -> None:
+        self.noc = noc
+        self.port = port
+
+    def request(self, src: int, dst: int, now: int, high_priority: bool,
+                deliver: Callable[[], None]) -> None:
+        """Send a single-flit request packet; run ``deliver`` on arrival."""
+        arrival = self.noc.send_request(src, dst, now, high_priority)
+        self.port.schedule(arrival, deliver)
+
+    def data(self, src: int, dst: int, now: int, high_priority: bool,
+             deliver: Optional[Callable[[], None]] = None) -> int:
+        """Send a line-sized data packet, returning the arrival cycle.
+
+        Without ``deliver`` the packet only occupies links (fire-and-
+        forget writeback traffic); with it, the receiver's handler runs
+        at arrival.
+        """
+        arrival = self.noc.send_data(src, dst, now, high_priority)
+        if deliver is not None:
+            self.port.schedule(arrival, deliver)
+        return arrival

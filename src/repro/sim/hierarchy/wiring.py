@@ -1,0 +1,164 @@
+"""Configuration-driven construction of the memory hierarchy.
+
+:class:`Hierarchy` turns a :class:`repro.config.SystemConfig` into the
+component graph -- per-core :class:`~repro.sim.hierarchy.node.CoreNode`
+(L1 node, L2 node, filter chain), shared :class:`~repro.sim.hierarchy.
+llc.LlcSlice` banks, one :class:`~repro.sim.hierarchy.noc_link.NocLink`
+and one :class:`~repro.sim.hierarchy.dram_port.DramPort` -- and exposes
+the core-facing memory interface (``issue_load`` / ``issue_store``).
+All mechanism objects are built here, fully, before any request flows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.cache.cache import Cache
+from repro.cache.mshr import MshrFile
+from repro.config import SystemConfig
+from repro.core.clip import Clip
+from repro.criticality import make_criticality_predictor
+from repro.dram.controller import DramSystem
+from repro.mmu.tlb import Mmu
+from repro.noc.mesh import MeshNoc
+from repro.prefetch.base import make_prefetcher
+from repro.related.dspatch import DspatchModulator
+from repro.related.hermes import HermesPredictor
+from repro.sim.engine import Engine
+from repro.sim.hierarchy.dram_port import DramPort
+from repro.sim.hierarchy.filters import PrefetchFilterChain
+from repro.sim.hierarchy.l1 import L1Node
+from repro.sim.hierarchy.l2 import L2Node
+from repro.sim.hierarchy.llc import LlcSlice
+from repro.sim.hierarchy.messages import LINE_SHIFT, privatize
+from repro.sim.hierarchy.noc_link import NocLink
+from repro.sim.hierarchy.node import CoreNode
+from repro.sim.hierarchy.port import Port
+from repro.sim.stats import PrefetchStats
+from repro.sim.tracing import RequestTrace
+from repro.throttle import make_throttler
+
+
+class Hierarchy:
+    """The wired memory system below the cores."""
+
+    def __init__(self, config: SystemConfig, engine: Engine, noc: MeshNoc,
+                 dram: DramSystem, stats: PrefetchStats,
+                 trace: Optional[RequestTrace]) -> None:
+        self.config = config
+        self.engine = engine
+        self.num_slices = config.num_cores
+        self.stats = stats
+        self.dram_port = DramPort(dram, engine)
+        #: Shared NoC adapter; its port carries no MSHR (links do not
+        #: back-pressure in this model), only delivery scheduling.
+        self.link = NocLink(noc, Port(engine, mshr=None))
+        self.slices: List[LlcSlice] = [
+            LlcSlice(slice_id, Cache(config.llc_slice),
+                     Port(engine, MshrFile(config.llc_slice.mshr_entries)),
+                     config.llc_slice.latency, self.num_slices, self.link,
+                     self.dram_port)
+            for slice_id in range(self.num_slices)]
+        self.nodes: List[CoreNode] = [
+            self._build_node(core_id, trace)
+            for core_id in range(config.num_cores)]
+
+    def slice_of(self, line: int) -> int:
+        return line % self.num_slices
+
+    # ------------------------------------------------------------------
+    # Core-facing memory interface
+    # ------------------------------------------------------------------
+
+    def issue_load(self, core_id: int, address: int, ip: int, cycle: int,
+                   callback: Callable) -> None:
+        self.nodes[core_id].l1.issue_load(address, ip, cycle, callback)
+
+    def issue_store(self, core_id: int, address: int, ip: int,
+                    cycle: int) -> None:
+        self.nodes[core_id].l1.issue_store(address, ip, cycle)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build_node(self, core_id: int,
+                    trace: Optional[RequestTrace]) -> CoreNode:
+        config = self.config
+        node = CoreNode(core_id)
+        l1_pf = l2_pf = None
+        if config.l1_prefetcher.name != "none":
+            l1_pf = make_prefetcher(config.l1_prefetcher.name,
+                                    config.l1_prefetcher.degree)
+        if config.l2_prefetcher.name != "none":
+            l2_pf = make_prefetcher(config.l2_prefetcher.name,
+                                    config.l2_prefetcher.degree)
+        clip = None
+        if config.clip.enabled:
+            clip = Clip(config.clip)
+            clip.bandwidth_probe = self.dram_port.utilization_now
+        mmu = None
+        if config.tlb.enabled:
+            mmu = Mmu(
+                dtlb_entries=config.tlb.dtlb_entries,
+                dtlb_ways=config.tlb.dtlb_ways,
+                stlb_entries=config.tlb.stlb_entries,
+                stlb_ways=config.tlb.stlb_ways,
+                stlb_latency=config.tlb.stlb_latency,
+                page_walk_latency=config.tlb.page_walk_latency,
+                page_shift=config.tlb.page_shift)
+        hermes = HermesPredictor() if config.related.hermes else None
+        chain = PrefetchFilterChain(
+            node, self.stats, self.dram_port,
+            lambda a: self.dram_port.channel_utilization(
+                privatize(core_id, a)),
+            gate_enabled=config.criticality.gate)
+        if config.criticality.name != "none":
+            chain.crit_gate = make_criticality_predictor(
+                config.criticality.name)
+        if config.throttle.name != "none":
+            chain.throttler = make_throttler(config.throttle.name)
+        if config.related.dspatch:
+            chain.dspatch = DspatchModulator()
+        chain.clip = clip
+        node.chain = chain
+        node.l1 = L1Node(node, Cache(config.l1d),
+                         Port(self.engine, MshrFile(config.l1d.mshr_entries)),
+                         l1_pf, config.l1d.latency, self.stats, trace,
+                         mmu=mmu, clip=clip, hermes=hermes)
+        node.l2 = L2Node(node, Cache(config.l2),
+                         Port(self.engine, MshrFile(config.l2.mshr_entries)),
+                         l2_pf, config.l2.latency, self.stats)
+        # Inter-layer wiring.
+        node.l1.downstream = node.l2
+        node.l1.offchip = self.dram_port
+        node.l1.slices = self.slices
+        node.l2.link = self.link
+        node.l2.slices = self.slices
+        node.l2.slice_of = self.slice_of
+        chain.issue = node.l1.issue_prefetch
+        self._wire_feedback(node)
+        return node
+
+    def _wire_feedback(self, node: CoreNode) -> None:
+        stats = self.stats
+
+        def l1_use(line: int, trigger_ip: int) -> None:
+            node.pf_useful += 1
+            stats.useful += 1
+
+        def l2_use(line: int, trigger_ip: int) -> None:
+            node.pf_useful += 1
+            stats.useful += 1
+            if node.l2.prefetcher is not None:
+                node.l2.prefetcher.on_prefetch_feedback(
+                    line << LINE_SHIFT, True)
+
+        def l2_useless(line: int) -> None:
+            if node.l2.prefetcher is not None:
+                node.l2.prefetcher.on_prefetch_feedback(
+                    line << LINE_SHIFT, False)
+
+        node.l1.cache.prefetch_use_listener = l1_use
+        node.l2.cache.prefetch_use_listener = l2_use
+        node.l2.cache.useless_eviction_listener = l2_useless

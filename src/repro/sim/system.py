@@ -1,97 +1,38 @@
-"""The full many-core system: cores, hierarchy, NoC, DRAM, and every
-optional mechanism (prefetchers, CLIP, baseline criticality gates,
-throttlers, Hermes, DSPatch) wired per :class:`repro.config.SystemConfig`.
+"""The full many-core system: cores plus the component-based memory
+hierarchy (:mod:`repro.sim.hierarchy`), built per
+:class:`repro.config.SystemConfig`.
 
 Memory request flow (demand load):
 
-    core -> L1D lookup (hit: +l1_lat) -> L1 MSHR -> L2 lookup (+l2_lat)
-         -> L2 MSHR -> NoC request packet -> LLC slice lookup (+llc_lat)
-         -> LLC MSHR -> DRAM channel -> fill LLC -> NoC data packet
+    core -> L1Node (hit: +l1_lat) -> L1 MSHR port -> L2Node (+l2_lat)
+         -> L2 MSHR port -> NocLink request -> LlcSlice (+llc_lat)
+         -> LLC MSHR port -> DramPort -> fill LLC -> NocLink data
          -> fill L2 -> fill L1 -> core callback(level)
 
-Writebacks flow downward on evictions (L1 dirty -> L2 -> LLC -> DRAM write)
-and consume DRAM write bandwidth; prefetch candidates enter at their fill
-level after passing throttle/DSPatch/CLIP filters.  Addresses are
-privatised per core (SPEC-rate style) before touching any shared structure.
+The request-flow logic lives in the hierarchy components; this module
+only owns configuration-driven wiring (cores attached to the hierarchy,
+CLIP/criticality predictors attached to cores) and result collection.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.invariants import check
 from repro.analysis.sanitizer import install_sanitizer, sanitize_enabled
-from repro.cache.cache import Cache
-from repro.cache.mshr import MshrFile
 from repro.config import SystemConfig
-from repro.core.clip import Clip
 from repro.cpu.branch import HashedPerceptronPredictor
 from repro.cpu.core_model import Core, ServiceLevel
-from repro.criticality import make_criticality_predictor
 from repro.dram.controller import DramSystem
 from repro.noc.mesh import MeshNoc
-from repro.prefetch.base import PrefetchRequest, make_prefetcher
-from repro.related.dspatch import DspatchModulator
-from repro.mmu.tlb import Mmu
-from repro.related.hermes import HermesPredictor
 from repro.sim.engine import Engine
-from repro.sim.tracing import RequestRecord, RequestTrace
+from repro.sim.hierarchy import CoreNode, Hierarchy
+from repro.sim.tracing import RequestTrace
 from repro.sim.stats import (ClipResult, CoreResult, CriticalityResult,
                              DramResult, LevelStats, NocResult,
                              PrefetchStats, SimulationResult)
-from repro.throttle.base import ThrottleSnapshot
-from repro.throttle import make_throttler
 from repro.trace.synthetic import SyntheticWorkload
 from repro.trace.workloads import get_workload
-
-_LINE_SHIFT = 6
-#: High bits carving a private physical address space per core.
-_CORE_SPACE_SHIFT = 40
-#: L1/L2 MSHR slots a prefetch may never take (demand reservation).
-_L1_DEMAND_RESERVE = 2
-_L2_DEMAND_RESERVE = 4
-#: Demand L1D accesses per throttling epoch.
-_THROTTLE_EPOCH = 1024
-
-
-class _Node:
-    """Per-core private memory-side state."""
-
-    __slots__ = ("core_id", "l1d", "l2", "l1_mshr", "l2_mshr", "l1_pf",
-                 "l2_pf", "clip", "crit_gate", "throttler", "dspatch",
-                 "mmu", "hermes", "hermes_pending", "pf_issued",
-                 "pf_dropped_filter",
-                 "pf_dropped_duplicate", "pf_dropped_mshr", "pf_useful",
-                 "lat_sum", "lat_count", "epoch_accesses", "epoch_base",
-                 "demand_l1_misses")
-
-    def __init__(self, core_id: int) -> None:
-        self.core_id = core_id
-        self.l1d: Cache = None  # type: ignore[assignment]
-        self.l2: Cache = None  # type: ignore[assignment]
-        self.l1_mshr: MshrFile = None  # type: ignore[assignment]
-        self.l2_mshr: MshrFile = None  # type: ignore[assignment]
-        self.l1_pf = None
-        self.l2_pf = None
-        self.clip: Optional[Clip] = None
-        self.crit_gate = None
-        self.throttler = None
-        self.dspatch: Optional[DspatchModulator] = None
-        self.mmu: Optional[Mmu] = None
-        self.hermes: Optional[HermesPredictor] = None
-        self.hermes_pending: Dict[int, List[Callable]] = {}
-        self.pf_issued = 0
-        self.pf_dropped_filter = 0
-        self.pf_dropped_duplicate = 0
-        self.pf_dropped_mshr = 0
-        self.pf_useful = 0
-        # Demand-latency accounting indexed by ServiceLevel value.
-        self.lat_sum = [0, 0, 0, 0, 0]
-        self.lat_count = [0, 0, 0, 0, 0]
-        self.epoch_accesses = 0
-        #: Snapshot of (issued, useful, late, pollution) at last epoch end.
-        self.epoch_base = (0, 0, 0, 0)
-        self.demand_l1_misses = 0
 
 
 class MulticoreSystem:
@@ -110,26 +51,38 @@ class MulticoreSystem:
         self.noc = MeshNoc(config.mesh_dim, config.noc)
         self.dram = DramSystem(config.dram, self.engine,
                                config.l1d.line_size)
-        self.num_slices = config.num_cores
-        self.llc = [Cache(config.llc_slice) for _ in range(self.num_slices)]
-        self.llc_mshr = [MshrFile(config.llc_slice.mshr_entries)
-                         for _ in range(self.num_slices)]
-        self.l1_lat = config.l1d.latency
-        self.l2_lat = config.l2.latency
-        self.llc_lat = config.llc_slice.latency
         self.prefetch_stats = PrefetchStats()
         self.request_trace: Optional[RequestTrace] = (
             RequestTrace(config.capture_request_trace)
             if config.capture_request_trace else None)
-        self.nodes: List[_Node] = []
+        self.hierarchy = Hierarchy(config, self.engine, self.noc,
+                                   self.dram, self.prefetch_stats,
+                                   self.request_trace)
         self.cores: List[Core] = []
-        self._build_nodes()
         self._build_cores()
         # Opt-in runtime invariant sanitizer: the guard is evaluated once
         # here, at wiring time -- a disabled run installs no wrappers and
         # the hot paths stay untouched (repro.analysis.sanitizer).
         self.sanitizer = (install_sanitizer(self)
                           if sanitize_enabled(config) else None)
+
+    # -- flat views over the hierarchy ---------------------------------
+
+    @property
+    def nodes(self) -> List[CoreNode]:
+        return self.hierarchy.nodes
+
+    @property
+    def num_slices(self) -> int:
+        return self.hierarchy.num_slices
+
+    @property
+    def llc(self):
+        return [s.cache for s in self.hierarchy.slices]
+
+    @property
+    def llc_mshr(self):
+        return [s.port.mshr for s in self.hierarchy.slices]
 
     def _default_label(self) -> str:
         parts = [self.config.l1_prefetcher.name]
@@ -147,580 +100,23 @@ class MulticoreSystem:
             parts.append("dspatch")
         return "+".join(parts)
 
-    # ------------------------------------------------------------------
-    # Construction
-    # ------------------------------------------------------------------
-
-    def _build_nodes(self) -> None:
-        config = self.config
-        for core_id in range(config.num_cores):
-            node = _Node(core_id)
-            node.l1d = Cache(config.l1d)
-            node.l2 = Cache(config.l2)
-            node.l1_mshr = MshrFile(config.l1d.mshr_entries)
-            node.l2_mshr = MshrFile(config.l2.mshr_entries)
-            if config.l1_prefetcher.name != "none":
-                node.l1_pf = make_prefetcher(config.l1_prefetcher.name,
-                                             config.l1_prefetcher.degree)
-            if config.l2_prefetcher.name != "none":
-                node.l2_pf = make_prefetcher(config.l2_prefetcher.name,
-                                             config.l2_prefetcher.degree)
-            if config.clip.enabled:
-                node.clip = Clip(config.clip)
-                node.clip.bandwidth_probe = (
-                    lambda: self.dram.utilization(max(1, self.engine.now)))
-            if config.criticality.name != "none":
-                node.crit_gate = make_criticality_predictor(
-                    config.criticality.name)
-            if config.throttle.name != "none":
-                node.throttler = make_throttler(config.throttle.name)
-            if config.related.dspatch:
-                node.dspatch = DspatchModulator()
-            if config.related.hermes:
-                node.hermes = HermesPredictor()
-            if config.tlb.enabled:
-                node.mmu = Mmu(
-                    dtlb_entries=config.tlb.dtlb_entries,
-                    dtlb_ways=config.tlb.dtlb_ways,
-                    stlb_entries=config.tlb.stlb_entries,
-                    stlb_ways=config.tlb.stlb_ways,
-                    stlb_latency=config.tlb.stlb_latency,
-                    page_walk_latency=config.tlb.page_walk_latency,
-                    page_shift=config.tlb.page_shift)
-            self._wire_feedback(node)
-            self.nodes.append(node)
-
-    def _wire_feedback(self, node: _Node) -> None:
-        def l1_use(line: int, trigger_ip: int) -> None:
-            node.pf_useful += 1
-            self.prefetch_stats.useful += 1
-
-        def l2_use(line: int, trigger_ip: int) -> None:
-            node.pf_useful += 1
-            self.prefetch_stats.useful += 1
-            if node.l2_pf is not None:
-                node.l2_pf.on_prefetch_feedback(line << _LINE_SHIFT, True)
-
-        def l2_useless(line: int) -> None:
-            if node.l2_pf is not None:
-                node.l2_pf.on_prefetch_feedback(line << _LINE_SHIFT, False)
-
-        node.l1d.prefetch_use_listener = l1_use
-        node.l2.prefetch_use_listener = l2_use
-        node.l2.useless_eviction_listener = l2_useless
-
     def _build_cores(self) -> None:
         config = self.config
         length = config.warmup_instructions + config.sim_instructions
         for core_id, name in enumerate(self.workload_names):
             trace = SyntheticWorkload(get_workload(name)).generate(
                 length, core_id=core_id)
-            core = Core(core_id, config.core, trace, memory=self,
-                        engine=self.engine,
+            core = Core(core_id, config.core, trace,
+                        memory=self.hierarchy, engine=self.engine,
                         branch_predictor=HashedPerceptronPredictor(
                             config.branch),
                         warmup_instructions=config.warmup_instructions)
-            node = self.nodes[core_id]
+            node = self.hierarchy.nodes[core_id]
             if node.clip is not None:
                 node.clip.attach(core)
             if node.crit_gate is not None:
                 node.crit_gate.attach(core)
             self.cores.append(core)
-
-    # ------------------------------------------------------------------
-    # Address helpers
-    # ------------------------------------------------------------------
-
-    def _line(self, core_id: int, address: int) -> int:
-        return (address >> _LINE_SHIFT) | (core_id << _CORE_SPACE_SHIFT)
-
-    def _slice_of(self, line: int) -> int:
-        return line % self.num_slices
-
-    def _channel_utilization_of(self, core_id: int, address: int) -> float:
-        """DSPatch's myopic per-controller bandwidth signal."""
-        line = self._line(core_id, address)
-        where = self.dram.mapping.locate(line)
-        channel = self.dram.channels[where.channel]
-        return channel.stats.utilization(max(1, self.engine.now))
-
-    # ------------------------------------------------------------------
-    # Core-facing interface
-    # ------------------------------------------------------------------
-
-    def issue_load(self, core_id: int, address: int, ip: int, cycle: int,
-                   callback: Callable) -> None:
-        node = self.nodes[core_id]
-        if node.mmu is not None:
-            translation = node.mmu.translate(address)
-            if translation:
-                # Re-enter after the TLB/page-walk latency has elapsed.
-                self.engine.schedule(
-                    cycle + translation,
-                    lambda: self._issue_load_translated(
-                        core_id, address, ip, self.engine.now, callback))
-                return
-        self._issue_load_translated(core_id, address, ip, cycle, callback)
-
-    def _issue_load_translated(self, core_id: int, address: int, ip: int,
-                               cycle: int, callback: Callable) -> None:
-        node = self.nodes[core_id]
-        line = self._line(core_id, address)
-        if node.clip is not None:
-            node.clip.on_l1d_access(line, cycle)
-        self._note_epoch_access(node, cycle)
-        hit = node.l1d.access(line, ip, cycle)
-        if node.l1_pf is not None:
-            candidates = node.l1_pf.on_access(ip, address, hit, cycle)
-            if candidates:
-                self._handle_candidates(node, candidates, cycle)
-        if node.dspatch is not None:
-            extra = node.dspatch.observe(
-                ip, address,
-                lambda a: self._channel_utilization_of(core_id, a))
-            if extra:
-                self._handle_candidates(node, extra, cycle,
-                                        dspatch_generated=True)
-        if node.hermes is not None:
-            callback = self._wrap_hermes(node, ip, address, callback)
-        if hit:
-            done = cycle + self.l1_lat
-            if self.request_trace is not None:
-                self.request_trace.append(RequestRecord(
-                    core_id, address, cycle, done, ServiceLevel.L1, False))
-            self.engine.schedule(
-                done, lambda: callback(done, ServiceLevel.L1))
-            return
-        node.demand_l1_misses += 1
-        if node.clip is not None:
-            node.clip.on_l1d_miss(cycle)
-        if node.hermes is not None and node.hermes.predict_offchip(ip,
-                                                                   address):
-            self._hermes_launch(node, line, cycle)
-        self._miss_from_l1(node, line, address, ip, cycle, callback,
-                           is_prefetch=False, crit=False, t0=cycle,
-                           is_store=False)
-
-    def issue_store(self, core_id: int, address: int, ip: int,
-                    cycle: int) -> None:
-        node = self.nodes[core_id]
-        if node.mmu is not None:
-            translation = node.mmu.translate(address)
-            if translation:
-                self.engine.schedule(
-                    cycle + translation,
-                    lambda: self._issue_store_translated(
-                        core_id, address, ip, self.engine.now))
-                return
-        self._issue_store_translated(core_id, address, ip, cycle)
-
-    def _issue_store_translated(self, core_id: int, address: int, ip: int,
-                                cycle: int) -> None:
-        node = self.nodes[core_id]
-        line = self._line(core_id, address)
-        if node.clip is not None:
-            node.clip.on_l1d_access(line, cycle)
-        self._note_epoch_access(node, cycle)
-        hit = node.l1d.access(line, ip, cycle, is_write=True)
-        if hit:
-            return
-        node.demand_l1_misses += 1
-        if node.clip is not None:
-            node.clip.on_l1d_miss(cycle)
-        # Write-allocate: fetch the line (RFO) and fill it dirty.
-        self._miss_from_l1(node, line, address, ip, cycle, callback=None,
-                           is_prefetch=False, crit=False, t0=cycle,
-                           is_store=True)
-
-    # ------------------------------------------------------------------
-    # Hermes
-    # ------------------------------------------------------------------
-
-    def _wrap_hermes(self, node: _Node, ip: int, address: int,
-                     callback: Callable) -> Callable:
-        def trained(done: int, level: ServiceLevel) -> None:
-            node.hermes.train(ip, address, level == ServiceLevel.DRAM)
-            callback(done, level)
-        return trained
-
-    def _hermes_launch(self, node: _Node, line: int, cycle: int) -> None:
-        if line in node.hermes_pending or len(node.hermes_pending) > 256:
-            return
-        node.hermes_pending[line] = []
-        self.dram.read(line, cycle,
-                       lambda t: self._hermes_done(node, line, t),
-                       is_prefetch=False, crit=False)
-
-    def _hermes_done(self, node: _Node, line: int, t: int) -> None:
-        waiters = node.hermes_pending.pop(line, [])
-        slice_id = self._slice_of(line)
-        self._fill_llc(slice_id, line, t, pc=0, prefetch=not waiters)
-        for continuation in waiters:
-            continuation(t)
-
-    # ------------------------------------------------------------------
-    # Prefetch candidate handling
-    # ------------------------------------------------------------------
-
-    def _handle_candidates(self, node: _Node,
-                           candidates: List[PrefetchRequest], cycle: int,
-                           dspatch_generated: bool = False) -> None:
-        stats = self.prefetch_stats
-        if node.dspatch is not None and not dspatch_generated:
-            candidates = node.dspatch.filter_candidates(
-                candidates,
-                lambda a: self._channel_utilization_of(node.core_id, a))
-        for request in candidates:
-            stats.candidates += 1
-            crit = False
-            if node.clip is not None:
-                allowed, crit = node.clip.filter_request(
-                    request.trigger_ip, request.address, cycle)
-                if not allowed:
-                    node.pf_dropped_filter += 1
-                    stats.dropped_filter += 1
-                    continue
-            elif node.crit_gate is not None and self.config.criticality.gate:
-                if not node.crit_gate.predicts_critical_ip(
-                        request.trigger_ip):
-                    node.pf_dropped_filter += 1
-                    stats.dropped_filter += 1
-                    continue
-            self._issue_prefetch(node, request, cycle, crit)
-
-    def _issue_prefetch(self, node: _Node, request: PrefetchRequest,
-                        cycle: int, crit: bool) -> None:
-        stats = self.prefetch_stats
-        line = self._line(node.core_id, request.address)
-        # CLIP-selected prefetches from an L1 prefetcher always fill to L1
-        # (section 4.2: the requests are known critical and accurate);
-        # otherwise the prefetcher's requested fill level stands.
-        if node.clip is not None and node.l1_pf is not None:
-            fill_level = 1
-        else:
-            fill_level = request.fill_level
-        if (node.l1d.probe(line) or node.l2.probe(line)
-                or node.l2_mshr.lookup(line) is not None
-                or node.l1_mshr.lookup(line) is not None):
-            node.pf_dropped_duplicate += 1
-            stats.dropped_duplicate += 1
-            return
-        if fill_level == 1 and node.l1_mshr.full:
-            # Demote to an L2 fill (Berti orchestrates fills across L1..L3;
-            # a prefetch that cannot park at L1 still moves the line on
-            # chip).
-            fill_level = 2
-        if fill_level != 1 and node.l2_mshr.full:
-            node.pf_dropped_mshr += 1
-            stats.dropped_mshr += 1
-            return
-        node.pf_issued += 1
-        stats.issued += 1
-        if node.clip is not None:
-            node.clip.on_prefetch_issued(line, request.trigger_ip)
-        if fill_level == 1:
-            self._miss_from_l1(node, line, request.address,
-                               request.trigger_ip, cycle, callback=None,
-                               is_prefetch=True, crit=crit, t0=cycle,
-                               is_store=False)
-        else:
-            self._miss_from_l2(node, line, request.address,
-                               request.trigger_ip, cycle,
-                               done_cb=None, is_prefetch=True, crit=crit)
-
-    # ------------------------------------------------------------------
-    # L1 miss path
-    # ------------------------------------------------------------------
-
-    def _miss_from_l1(self, node: _Node, line: int, address: int, ip: int,
-                      cycle: int, callback: Optional[Callable],
-                      is_prefetch: bool, crit: bool, t0: int,
-                      is_store: bool) -> None:
-        if is_prefetch and node.l1d.probe(line):
-            # A demand fetched the line while this prefetch queued.
-            node.pf_dropped_duplicate += 1
-            self.prefetch_stats.dropped_duplicate += 1
-            return
-        mshr = node.l1_mshr.lookup(line)
-        if mshr is not None:
-            waiter = (callback, t0) if callback is not None else None
-            was_late = mshr.is_prefetch and not mshr.demand_merged
-            node.l1_mshr.merge(mshr, waiter, is_prefetch)
-            if was_late and not is_prefetch:
-                # Late but useful: the paper counts these as accurate.
-                self.prefetch_stats.late += 1
-                self.prefetch_stats.useful += 1
-                node.pf_useful += 1
-            if is_store:
-                mshr.dirty = True
-            return
-        if node.l1_mshr.full:
-            if is_prefetch:
-                # Lost a race with demand allocations since the issue-time
-                # check; fall back to the L2 fill path.
-                self._miss_from_l2(node, line, address, ip, cycle,
-                                   done_cb=None, is_prefetch=True, crit=crit)
-                return
-            node.l1_mshr.pending.append(
-                lambda: self._miss_from_l1(node, line, address, ip,
-                                           self.engine.now, callback,
-                                           is_prefetch, crit, t0, is_store))
-            return
-        mshr = node.l1_mshr.allocate(line, is_prefetch, crit, ip, cycle)
-        mshr.address = address
-        mshr.dirty = is_store
-        # Berti times deltas against the *demand* cycle; when the miss sat
-        # in the pending queue first, allocation time would understate the
-        # latency and invert the timeliness test.
-        mshr.allocated_at = t0
-        if callback is not None:
-            mshr.waiters.append((callback, t0))
-        self.engine.schedule(
-            cycle + self.l1_lat,
-            lambda: self._miss_from_l2(
-                node, line, address, ip, self.engine.now,
-                done_cb=lambda t, level: self._complete_l1(node, line, t,
-                                                           level),
-                is_prefetch=is_prefetch, crit=crit))
-
-    def _complete_l1(self, node: _Node, line: int, t: int,
-                     level: ServiceLevel) -> None:
-        mshr = node.l1_mshr.release(line)
-        prefetch_fill = mshr.is_prefetch and not mshr.demand_merged
-        evicted = node.l1d.fill(line, mshr.trigger_ip, t,
-                                dirty=mshr.dirty, prefetch=prefetch_fill,
-                                trigger_ip=mshr.trigger_ip)
-        if evicted is not None and evicted.dirty:
-            node.l2.fill(evicted.line, 0, t, dirty=True)
-        if node.l1_pf is not None and not mshr.is_prefetch:
-            more = node.l1_pf.on_fill(mshr.address, t, prefetch=False,
-                                      ip=mshr.trigger_ip,
-                                      issued_at=mshr.allocated_at)
-            if more:
-                self._handle_candidates(node, more, t)
-        for callback, t0 in mshr.waiters:
-            latency = t - t0
-            if self.request_trace is not None:
-                self.request_trace.append(RequestRecord(
-                    node.core_id, mshr.address, t0, t, ServiceLevel(level),
-                    mshr.is_prefetch))
-            for lvl in range(ServiceLevel.L1, min(level,
-                                                  ServiceLevel.DRAM) + 1):
-                if lvl < level:
-                    # The load missed at lvl; its latency counts toward
-                    # lvl's demand miss latency (Fig. 3 accounting).
-                    node.lat_sum[lvl] += latency
-                    node.lat_count[lvl] += 1
-            callback(t, level)
-        self._replay_pending(node.l1_mshr)
-
-    # ------------------------------------------------------------------
-    # L2 path
-    # ------------------------------------------------------------------
-
-    def _miss_from_l2(self, node: _Node, line: int, address: int, ip: int,
-                      cycle: int, done_cb: Optional[Callable],
-                      is_prefetch: bool, crit: bool) -> None:
-        hit = node.l2.access(line, ip, cycle, is_demand=not is_prefetch)
-        if not is_prefetch and node.l2_pf is not None:
-            candidates = node.l2_pf.on_access(ip, address, hit, cycle)
-            if candidates:
-                self._handle_candidates(node, candidates, cycle)
-        if hit:
-            if done_cb is not None:
-                done = cycle + self.l2_lat
-                self.engine.schedule(
-                    done, lambda: done_cb(done, ServiceLevel.L2))
-            return
-        mshr = node.l2_mshr.lookup(line)
-        if mshr is not None:
-            waiter = done_cb
-            was_late = mshr.is_prefetch and not mshr.demand_merged
-            node.l2_mshr.merge(mshr, waiter, is_prefetch)
-            if was_late and not is_prefetch:
-                # Late but useful: the paper counts these as accurate.
-                self.prefetch_stats.late += 1
-                self.prefetch_stats.useful += 1
-                node.pf_useful += 1
-            return
-        if node.l2_mshr.full:
-            # A prefetch holding no upstream MSHR (done_cb is None) may be
-            # dropped; one that allocated an L1 MSHR must queue like a
-            # demand, or the L1 entry would leak and deadlock its waiters.
-            if is_prefetch and done_cb is None:
-                node.pf_dropped_mshr += 1
-                self.prefetch_stats.dropped_mshr += 1
-                # Un-count it: it never entered the hierarchy.
-                node.pf_issued -= 1
-                self.prefetch_stats.issued -= 1
-                return
-            node.l2_mshr.pending.append(
-                lambda: self._miss_from_l2(node, line, address, ip,
-                                           self.engine.now, done_cb,
-                                           is_prefetch, crit))
-            return
-        mshr = node.l2_mshr.allocate(line, is_prefetch, crit, ip, cycle)
-        mshr.address = address
-        if done_cb is not None:
-            mshr.waiters.append(done_cb)
-        self.engine.schedule(
-            cycle + self.l2_lat,
-            lambda: self._go_llc(node, line, ip, is_prefetch, crit))
-
-    def _complete_l2(self, node: _Node, line: int, t: int,
-                     level: ServiceLevel) -> None:
-        mshr = node.l2_mshr.release(line)
-        prefetch_fill = mshr.is_prefetch and not mshr.demand_merged
-        evicted = node.l2.fill(line, mshr.trigger_ip, t,
-                               prefetch=prefetch_fill,
-                               trigger_ip=mshr.trigger_ip)
-        if evicted is not None and evicted.dirty:
-            self._writeback_to_llc(node, evicted.line, t)
-        for waiter in mshr.waiters:
-            waiter(t, level)
-        self._replay_pending(node.l2_mshr)
-
-    def _writeback_to_llc(self, node: _Node, line: int, t: int) -> None:
-        slice_id = self._slice_of(line)
-        # Fire-and-forget data packet occupying NoC links (low priority).
-        self.noc.send_data(node.core_id, slice_id, t, high_priority=False)
-        self._fill_llc(slice_id, line, t, pc=0, prefetch=False, dirty=True)
-
-    # ------------------------------------------------------------------
-    # LLC + DRAM path
-    # ------------------------------------------------------------------
-
-    def _go_llc(self, node: _Node, line: int, ip: int, is_prefetch: bool,
-                crit: bool) -> None:
-        now = self.engine.now
-        slice_id = self._slice_of(line)
-        high = (not is_prefetch) or crit
-        arrival = self.noc.send_request(node.core_id, slice_id, now, high)
-        self.engine.schedule(
-            arrival,
-            lambda: self._llc_lookup(node, line, ip, is_prefetch, crit,
-                                     slice_id))
-
-    def _slice_local(self, line: int) -> int:
-        """Slice-local line address: the slice-selection bits are stripped
-        so the slice's set index uses fresh bits (otherwise only 1-in-
-        num_slices of each slice's sets would ever be used)."""
-        return line // self.num_slices
-
-    def _llc_lookup(self, node: _Node, line: int, ip: int,
-                    is_prefetch: bool, crit: bool, slice_id: int) -> None:
-        now = self.engine.now
-        llc = self.llc[slice_id]
-        high = (not is_prefetch) or crit
-        hit = llc.access(self._slice_local(line), ip, now,
-                         is_demand=not is_prefetch)
-        if hit:
-            ready = now + self.llc_lat
-            arrival = self.noc.send_data(slice_id, node.core_id, ready, high)
-            self.engine.schedule(
-                arrival,
-                lambda: self._complete_l2(node, line, self.engine.now,
-                                          ServiceLevel.LLC))
-            return
-        # Hermes may already have the line in flight from DRAM.
-        if node.hermes is not None and line in node.hermes_pending:
-            node.hermes_pending[line].append(
-                lambda t: self._return_data(node, line, slice_id,
-                                            max(t, now + self.llc_lat),
-                                            high, ServiceLevel.DRAM))
-            return
-        mshr_file = self.llc_mshr[slice_id]
-        mshr = mshr_file.lookup(line)
-        waiter = lambda t: self._return_data(node, line, slice_id, t, high,
-                                             ServiceLevel.DRAM)
-        if mshr is not None:
-            mshr_file.merge(mshr, waiter, is_prefetch)
-            return
-        if mshr_file.full:
-            # Every request reaching the LLC holds an L2 MSHR upstream, so
-            # nothing may be dropped here -- queue until a register frees.
-            mshr_file.pending.append(
-                lambda: self._llc_lookup(node, line, ip, is_prefetch, crit,
-                                         slice_id))
-            return
-        mshr = mshr_file.allocate(line, is_prefetch, crit, ip, now)
-        mshr.waiters.append(waiter)
-        ready = now + self.llc_lat
-        self.engine.schedule(
-            ready,
-            lambda: self.dram.read(
-                line, self.engine.now,
-                lambda t: self._dram_done(slice_id, line, t),
-                is_prefetch=is_prefetch, crit=crit))
-
-    def _dram_done(self, slice_id: int, line: int, t: int) -> None:
-        mshr_file = self.llc_mshr[slice_id]
-        mshr = mshr_file.release(line)
-        prefetch_fill = mshr.is_prefetch and not mshr.demand_merged
-        self._fill_llc(slice_id, line, t, pc=mshr.trigger_ip,
-                       prefetch=prefetch_fill)
-        for waiter in mshr.waiters:
-            waiter(t)
-        self._replay_pending(mshr_file)
-
-    def _fill_llc(self, slice_id: int, line: int, t: int, pc: int,
-                  prefetch: bool, dirty: bool = False) -> None:
-        evicted = self.llc[slice_id].fill(self._slice_local(line), pc, t,
-                                          dirty=dirty, prefetch=prefetch)
-        if evicted is not None and evicted.dirty:
-            # Reconstruct the global line address from the slice-local one.
-            victim_line = evicted.line * self.num_slices + slice_id
-            self.dram.write(victim_line, t)
-
-    def _return_data(self, node: _Node, line: int, slice_id: int, t: int,
-                     high: bool, level: ServiceLevel) -> None:
-        arrival = self.noc.send_data(slice_id, node.core_id, t, high)
-        self.engine.schedule(
-            arrival,
-            lambda: self._complete_l2(node, line, self.engine.now, level))
-
-    @staticmethod
-    def _replay_pending(mshr_file: MshrFile) -> None:
-        while mshr_file.pending and not mshr_file.full:
-            thunk = mshr_file.pending.popleft()
-            thunk()
-
-    # ------------------------------------------------------------------
-    # Throttling epochs
-    # ------------------------------------------------------------------
-
-    def _note_epoch_access(self, node: _Node, cycle: int) -> None:
-        if node.throttler is None:
-            return
-        node.epoch_accesses += 1
-        if node.epoch_accesses < _THROTTLE_EPOCH:
-            return
-        node.epoch_accesses = 0
-        late = (node.l1_mshr.late_prefetch_merges
-                + node.l2_mshr.late_prefetch_merges)
-        pollution = (node.l1d.stats.useless_evictions
-                     + node.l2.stats.useless_evictions)
-        issued, useful, base_late, base_pollution = node.epoch_base
-        d_issued = node.pf_issued - issued
-        d_useful = node.pf_useful - useful
-        d_late = late - base_late
-        d_pollution = pollution - base_pollution
-        node.epoch_base = (node.pf_issued, node.pf_useful, late, pollution)
-        accuracy = d_useful / d_issued if d_issued else 0.0
-        lateness = d_late / d_useful if d_useful else 0.0
-        poll = d_pollution / d_issued if d_issued else 0.0
-        occupancy = ((len(node.l1_mshr.entries) + len(node.l2_mshr.entries))
-                     / (node.l1_mshr.capacity + node.l2_mshr.capacity))
-        snapshot = ThrottleSnapshot(
-            accuracy=min(1.0, accuracy), lateness=min(1.0, lateness),
-            pollution=min(1.0, poll),
-            dram_utilization=self.dram.utilization(max(1, cycle)),
-            mshr_occupancy=occupancy, issued=d_issued)
-        scale = node.throttler.decide(snapshot)
-        if node.l1_pf is not None:
-            node.l1_pf.set_degree_scale(scale)
-        if node.l2_pf is not None:
-            node.l2_pf.set_degree_scale(scale)
 
     # ------------------------------------------------------------------
     # Running and result collection
@@ -770,7 +166,7 @@ class MulticoreSystem:
             "LLC": LevelStats("LLC"),
         }
         for node in self.nodes:
-            for name, cache in (("L1D", node.l1d), ("L2", node.l2)):
+            for name, cache in (("L1D", node.l1d), ("L2", node.l2_cache)):
                 level = levels[name]
                 level.demand_accesses += cache.stats.demand_accesses
                 level.demand_hits += cache.stats.demand_hits

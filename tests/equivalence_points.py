@@ -1,0 +1,78 @@
+"""Fixed-seed scheme x workload-mix points pinning simulator behaviour.
+
+These points define the equivalence contract of the hierarchy refactor:
+``SimulationResult.to_dict()`` for every point must be bit-identical to
+the golden JSON captured from the pre-refactor ``MulticoreSystem``
+(commit 365ec1d and earlier), stored in ``tests/data/equivalence/``.
+
+Regenerate the goldens (only when a behaviour change is *intended* and
+reviewed) with ``python scripts/regenerate_equivalence_goldens.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+from repro.config import SystemConfig, scaled_config
+
+GOLDEN_DIR = Path(__file__).parent / "data" / "equivalence"
+
+
+def _base(instructions: int = 2_500,
+          warmup: int = 0) -> SystemConfig:
+    return scaled_config(num_cores=2, channels=1,
+                         sim_instructions=instructions,
+                         warmup_instructions=warmup)
+
+
+def _point_none_mcf() -> Tuple[SystemConfig, List[str]]:
+    """No prefetching: the bare demand path core->L1->L2->NoC->LLC->DRAM."""
+    config = _base()
+    config.l1_prefetcher = dataclasses.replace(config.l1_prefetcher,
+                                               name="none")
+    return config, ["605.mcf_s-1536B", "605.mcf_s-1536B"]
+
+
+def _point_clip_berti_hetero() -> Tuple[SystemConfig, List[str]]:
+    """CLIP + L1 berti + L2 spp_ppf over a heterogeneous mix.
+
+    Exercises the prefetch filter chain (CLIP gate, duplicate/MSHR
+    drops), criticality-flagged NoC/DRAM priority, and both prefetcher
+    issue levels.
+    """
+    config = _base()
+    config.l1_prefetcher = dataclasses.replace(config.l1_prefetcher,
+                                               name="berti")
+    config.l2_prefetcher = dataclasses.replace(config.l2_prefetcher,
+                                               name="spp_ppf")
+    config.clip.enabled = True
+    return config, ["623.xalancbmk_s-10B", "tc-14"]
+
+
+def _point_mechanisms_stride() -> Tuple[SystemConfig, List[str]]:
+    """Stride + Hermes + DSPatch + FDP throttle + criticality gate + TLB.
+
+    Pins the related-work hooks (off-chip predictor launches, DSPatch
+    candidate modulation), the throttling epoch, the baseline
+    criticality gate, MMU translation latency, and warmup accounting.
+    """
+    config = _base(instructions=2_500, warmup=500)
+    config.l1_prefetcher = dataclasses.replace(config.l1_prefetcher,
+                                               name="stride")
+    config.related = dataclasses.replace(config.related, hermes=True,
+                                         dspatch=True)
+    config.throttle.name = "fdp"
+    config.criticality.name = "fvp"
+    config.criticality.gate = True
+    config.tlb = dataclasses.replace(config.tlb, enabled=True)
+    return config, ["619.lbm_s-2676B", "605.mcf_s-1536B"]
+
+
+#: name -> builder returning (config, workload mix).
+POINTS: Dict[str, Callable[[], Tuple[SystemConfig, List[str]]]] = {
+    "none_mcf": _point_none_mcf,
+    "clip_berti_hetero": _point_clip_berti_hetero,
+    "mechanisms_stride": _point_mechanisms_stride,
+}

@@ -20,7 +20,8 @@ from repro.analysis.lint import main as lint_main
 from repro.analysis.lint import run_lint
 from repro.analysis.rules import (BareAssertRule, FloatCycleArithmeticRule,
                                   LoopVariableCaptureRule,
-                                  MutableDefaultArgRule, UnregisteredCounterRule,
+                                  MutableDefaultArgRule, PortBypassRule,
+                                  UnregisteredCounterRule,
                                   UnseededRandomRule, WallClockRule,
                                   default_rules)
 
@@ -399,6 +400,59 @@ class TestWallClock:
 
 
 # ----------------------------------------------------------------------
+# SIM008 port-bypass
+# ----------------------------------------------------------------------
+
+_BYPASS_SNIPPET = textwrap.dedent("""
+    class L9Node:
+        def request(self, req, cycle):
+            self.engine.schedule(cycle + self.latency, self._done)
+    """)
+
+_PORT_ROUTED_SNIPPET = textwrap.dedent("""
+    class L9Node:
+        def request(self, req, cycle):
+            self.port.schedule(cycle + self.latency, self._done)
+    """)
+
+
+class TestPortBypass:
+    def test_engine_schedule_in_component_fires(self):
+        violations = lint_source(
+            _BYPASS_SNIPPET, [PortBypassRule()],
+            path="src/repro/sim/hierarchy/l9.py")
+        assert [v.rule_id for v in violations] == ["SIM008"]
+        assert "Port" in violations[0].message
+
+    def test_bare_engine_name_fires(self):
+        violations = lint_source(
+            textwrap.dedent("""
+                def deliver(engine, cycle, thunk):
+                    engine.schedule(cycle, thunk)
+                """),
+            [PortBypassRule()], path="src/repro/sim/hierarchy/l9.py")
+        assert len(violations) == 1
+
+    def test_port_schedule_clean(self):
+        violations = lint_source(
+            _PORT_ROUTED_SNIPPET, [PortBypassRule()],
+            path="src/repro/sim/hierarchy/l9.py")
+        assert violations == []
+
+    def test_port_module_is_exempt(self):
+        violations = lint_source(
+            _BYPASS_SNIPPET, [PortBypassRule()],
+            path="src/repro/sim/hierarchy/port.py")
+        assert violations == []
+
+    def test_outside_hierarchy_clean(self):
+        violations = lint_source(
+            _BYPASS_SNIPPET, [PortBypassRule()],
+            path="src/repro/sim/system.py")
+        assert violations == []
+
+
+# ----------------------------------------------------------------------
 # Framework behaviour: ignores, fingerprints, baseline
 # ----------------------------------------------------------------------
 
@@ -552,7 +606,7 @@ class TestRepoGate:
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005",
-                        "SIM006", "SIM007"):
+                        "SIM006", "SIM007", "SIM008"):
             assert rule_id in out
 
     def test_cli_lint_subcommand(self, capsys):

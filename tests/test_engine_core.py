@@ -44,6 +44,42 @@ class TestEngine:
         engine._drain_events_at(2)
         assert seen == ["outer", "inner"]
 
+    def test_quiescence_drain_keeps_now_monotonic(self, engine):
+        """Draining trailing events must never rewind ``now``; the cycle
+        the last core retired is reported separately from the drain."""
+        observed = []
+
+        class OneShot:
+            next_wake = 3
+            done = False
+
+            def tick(self, cycle):
+                engine.schedule(40, lambda: observed.append(engine.now))
+                engine.schedule(15, lambda: observed.append(engine.now))
+                self.done = True
+                self.next_wake = float("inf")
+
+        finish = engine.run([OneShot()])
+        assert finish == 3
+        assert observed == [15, 40]  # drain advances in time order
+        assert engine.quiesce_cycle == 40
+        assert engine.now == 40  # monotonic: not rewound to finish
+
+    def test_quiesce_cycle_equals_finish_when_nothing_in_flight(self,
+                                                                engine):
+        class Idle:
+            next_wake = 7
+            done = False
+
+            def tick(self, cycle):
+                self.done = True
+                self.next_wake = float("inf")
+
+        finish = engine.run([Idle()])
+        assert finish == 7
+        assert engine.quiesce_cycle == finish
+        assert engine.now == finish
+
     def test_deadlock_detection(self, engine):
         class Stuck:
             next_wake = float("inf")
