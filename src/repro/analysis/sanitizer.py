@@ -77,7 +77,7 @@ class Sanitizer:
         orig_schedule = engine.schedule
         orig_drain = engine._drain_events_at
 
-        def schedule(cycle: int, callback: Any) -> None:
+        def schedule(cycle: int, callback: Any, *args: Any) -> None:
             self._count("engine", 2)
             check(isinstance(cycle, int),
                   "engine.schedule: non-integer cycle %r violates time "
@@ -85,7 +85,7 @@ class Sanitizer:
             check(cycle >= engine.now,
                   "engine.schedule: cycle %d is in the past (now=%d)",
                   cycle, engine.now)
-            orig_schedule(cycle, callback)
+            orig_schedule(cycle, callback, *args)
 
         last_drain = {"now": engine.now}
 
@@ -311,9 +311,9 @@ class Sanitizer:
     def final_check(self, system: Any) -> None:
         """After the drain the hardware must be quiescent and consistent."""
         self._count("final", 2)
-        check(not system.engine._events,
+        check(system.engine.pending_events == 0,
               "engine finished with %d undrained event(s)",
-              len(system.engine._events))
+              system.engine.pending_events)
         check(self._total_link_flits == self._expected_link_flits,
               "NoC link-flit ledger inconsistent: %d recorded vs %d "
               "expected", self._total_link_flits,

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.analysis.invariants import check
+from repro.analysis.invariants import SimulationInvariantError, check
 from repro.config import CacheConfig
 from repro.cache.replacement import make_policy
 
@@ -29,7 +29,7 @@ class LineState:
         self.trigger_ip = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class EvictedLine:
     """What fell out of the cache on a fill."""
 
@@ -96,34 +96,38 @@ class Cache:
 
     def probe(self, line: int) -> bool:
         """Tag check without touching replacement or statistics."""
-        return (line // self.num_sets) in self._map[self.set_index(line)]
+        num_sets = self.num_sets
+        return (line // num_sets) in self._map[line % num_sets]
 
     def access(self, line: int, pc: int, now: int, is_write: bool = False,
                is_demand: bool = True) -> bool:
         """Look up ``line``; returns hit/miss and updates recency + stats."""
-        set_index = self.set_index(line)
-        tag = line // self.num_sets
-        self.stats.accesses += 1
+        num_sets = self.num_sets
+        set_index = line % num_sets
+        tag = line // num_sets
+        stats = self.stats
+        stats.accesses += 1
         if is_demand:
-            self.stats.demand_accesses += 1
+            stats.demand_accesses += 1
         way = self._map[set_index].get(tag)
         if way is None:
-            self.stats.misses += 1
+            stats.misses += 1
             if is_demand:
-                self.stats.demand_misses += 1
+                stats.demand_misses += 1
             return False
-        self.stats.hits += 1
+        stats.hits += 1
         if is_demand:
-            self.stats.demand_hits += 1
+            stats.demand_hits += 1
         state = self._lines[set_index][way]
-        check(state is not None,
-              "%s: tag map points at empty way %d of set %d",
-              self.config.name, way, set_index)
+        if state is None:
+            raise SimulationInvariantError(
+                f"{self.config.name}: tag map points at empty way "
+                f"{way} of set {set_index}")
         if is_write:
             state.dirty = True
         if state.prefetched and not state.useful and is_demand:
             state.useful = True
-            self.stats.useful_prefetches += 1
+            stats.useful_prefetches += 1
             if self.prefetch_use_listener is not None:
                 self.prefetch_use_listener(line, state.trigger_ip)
         self.policy.on_hit(set_index, way, now, pc)

@@ -141,6 +141,20 @@ def build_parser() -> argparse.ArgumentParser:
         "characterize", help="static characterisation of a workload model")
     characterize.add_argument("--workload", default="605.mcf_s-1536B")
     characterize.add_argument("--instructions", type=int, default=20_000)
+
+    bench = sub.add_parser(
+        "bench", help="run the hot-path performance benchmarks")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="end-to-end point repeats (best is reported)")
+    bench.add_argument("-o", "--output", metavar="JSON",
+                       help="write the results payload to this file")
+    bench.add_argument("--check", metavar="BASELINE",
+                       help="compare against a baseline JSON "
+                            "(e.g. BENCH_PR5.json); exit 1 when the "
+                            "end-to-end point regresses past --tolerance")
+    bench.add_argument("--tolerance", type=float, default=0.25,
+                       help="allowed end-to-end slowdown vs the baseline "
+                            "(default 0.25 = 25%%)")
     return parser
 
 
@@ -275,10 +289,37 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments import hotpath
+
+    payload = hotpath.run_suite(repeats=args.repeats)
+    if args.output:
+        hotpath.write_payload(payload, Path(args.output))
+        print(f"wrote {args.output}")
+    if args.check:
+        baseline = hotpath.load_baseline(Path(args.check))
+        if baseline is None:
+            print(f"no baseline at {args.check}; nothing to check against")
+            return 1
+        failures = hotpath.compare_to_baseline(payload, baseline,
+                                               args.tolerance)
+        for failure in failures:
+            print(failure)
+        if failures:
+            return 1
+        print(f"end-to-end point within +{args.tolerance:.0%} of "
+              f"{args.check}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "sweep":

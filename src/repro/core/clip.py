@@ -91,6 +91,18 @@ class Clip:
         self.phase_detector = ApcPhaseDetector(
             history_windows=config.apc_history_windows,
             threshold=config.phase_change_threshold)
+        # Config fields read on every load response / prefetch candidate,
+        # hoisted once (attribute chains through ``config`` showed up in
+        # profiles).
+        self._index_by_page = config.index_by_page
+        self._sig_use_address = config.signature_use_address
+        self._sig_use_branch = config.signature_use_branch_history
+        self._sig_use_crit = config.signature_use_criticality_history
+        #: (key, 16KiB region) -> signature.  The signature is a pure
+        #: function of those two plus the global histories, so the memo
+        #: is cleared whenever either history shifts; a multi-candidate
+        #: prefetch batch then hashes each trigger/region once.
+        self._sig_cache: Dict[Tuple[int, int], int] = {}
         self.stats = ClipStats()
         self._window_misses = 0
         self._paused_for_window = False
@@ -117,24 +129,23 @@ class Clip:
 
     def _on_load_dispatch(self, core: Core, entry: RobEntry,
                           cycle: int) -> None:
-        entry.history_snapshot = (int(self.branch_history),
-                                  int(self.criticality_history))
+        entry.history_snapshot = (self.branch_history.value,
+                                  self.criticality_history.value)
 
     def _on_branch(self, core: Core, ip: int, taken: bool,
                    mispredicted: bool, cycle: int) -> None:
         self.branch_history.push(taken)
+        self._sig_cache.clear()
 
     def _signature(self, ip: int, line: int,
                    histories: Optional[tuple] = None) -> int:
-        config = self.config
         if histories is None:
-            histories = (int(self.branch_history),
-                         int(self.criticality_history))
+            histories = (self.branch_history.value,
+                         self.criticality_history.value)
         return critical_signature(
             ip, line, histories[0], histories[1],
-            use_address=config.signature_use_address,
-            use_branch_history=config.signature_use_branch_history,
-            use_criticality_history=config.signature_use_criticality_history)
+            self._sig_use_address, self._sig_use_branch,
+            self._sig_use_crit)
 
     def _on_load_response(self, core: Core, entry: RobEntry, cycle: int,
                           rob_stalled: bool, self_stalled: bool) -> None:
@@ -142,14 +153,13 @@ class Clip:
         beyond_l1 = entry.service_level >= ServiceLevel.L2
         # Ground truth: this load itself blocked the ROB head.
         critical = self_stalled and beyond_l1
+        key = (entry.address >> 12 if self._index_by_page else entry.ip)
         # Train with the histories captured at the load's dispatch: that is
         # the context a future prefetch trigger for the same code will see.
-        signature = self._signature(self._key(entry.ip, entry.address),
-                                    line, entry.history_snapshot)
+        signature = self._signature(key, line, entry.history_snapshot)
         # --- measurement (Figs. 13-15): what would CLIP have predicted? --
         if beyond_l1:
-            predicted = self._predict_critical(
-                self._key(entry.ip, entry.address), signature)
+            predicted = self._predict_critical(key, signature)
             if predicted:
                 self.stats.predicted_critical += 1
                 if critical:
@@ -168,20 +178,20 @@ class Clip:
         # Filter insertion follows the paper's hardware flow: the global
         # ROB-stall flag checked on a beyond-L1 response (section 4.1).
         if beyond_l1 and (critical or rob_stalled):
-            self.filter.record_critical(self._key(entry.ip, entry.address))
+            self.filter.record_critical(key)
         self.criticality_history.push(critical)
+        self._sig_cache.clear()
 
     def _key(self, ip: int, address: int) -> int:
         """Tracking key: the trigger IP, or the 4 KiB page for the paper's
         non-IP-based L2 prefetcher variant (section 4.2)."""
-        if self.config.index_by_page:
+        if self._index_by_page:
             return address >> 12
         return ip
 
     def _predict_critical(self, ip: int, signature: int) -> bool:
         entry = self.filter.get(ip)
-        if entry is None or entry.crit_count < \
-                self.filter._effective_threshold():
+        if entry is None or entry.crit_count < self.filter.effective_threshold:
             return False
         prediction = self.predictor.predict(signature)
         return bool(prediction)
@@ -247,27 +257,35 @@ class Clip:
         if self._paused_for_window:
             stats.dropped_phase_pause += 1
             return False, False
-        key = self._key(trigger_ip, address)
+        key = (address >> 12 if self._index_by_page else trigger_ip)
+        filt = self.filter
         if config.use_criticality_filter:
-            entry = self.filter.get(key)
-            if entry is None or entry.crit_count < \
-                    self.filter._effective_threshold():
+            entry = filt.get(key)
+            if entry is None or entry.crit_count < filt.effective_threshold:
                 stats.dropped_not_critical += 1
                 return False, False
             if config.use_accuracy_filter and not (
                     entry.is_crit_accurate
                     or (entry.exploring and entry.issue_count
-                        < self.filter.EXPLORATION_PROBES)):
+                        < filt.EXPLORATION_PROBES)):
                 stats.dropped_low_accuracy += 1
                 return False, False
             line = address >> _LINE_SHIFT
-            prediction = self.predictor.predict(
-                self._signature(key, line))
+            sig_key = (key, line >> 8)
+            signature = self._sig_cache.get(sig_key)
+            if signature is None:
+                signature = critical_signature(
+                    key, line, self.branch_history.value,
+                    self.criticality_history.value,
+                    self._sig_use_address, self._sig_use_branch,
+                    self._sig_use_crit)
+                self._sig_cache[sig_key] = signature
+            prediction = self.predictor.predict(signature)
             if not prediction:
                 stats.dropped_predictor += 1
                 return False, False
         elif config.use_accuracy_filter:
-            entry = self.filter.get(key)
+            entry = filt.get(key)
             if entry is not None and not (
                     entry.is_crit_accurate
                     or (entry.exploring and entry.issue_count

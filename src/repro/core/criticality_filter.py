@@ -75,6 +75,10 @@ class CriticalityFilter:
         self.issue_count_bits = issue_count_bits
         self.crit_threshold = min(crit_threshold,
                                   (1 << crit_count_bits) - 1 + 1)
+        #: Cached :meth:`_effective_threshold`: a pure function of the
+        #: fixed geometry, read on every prefetch candidate.
+        self.effective_threshold = min(self.crit_threshold,
+                                       (1 << crit_count_bits) - 1)
         self.accuracy_threshold = accuracy_threshold
         self._sets: List[Dict[int, FilterEntry]] = [
             dict() for _ in range(sets)
@@ -117,7 +121,7 @@ class CriticalityFilter:
     def _effective_threshold(self) -> int:
         # A 2-bit counter saturates at 3; the paper's threshold of 4 is
         # reached by treating the saturated value as "threshold crossed".
-        return min(self.crit_threshold, (1 << self.crit_count_bits) - 1)
+        return self.effective_threshold
 
     # ------------------------------------------------------------------
     # Accuracy tracker

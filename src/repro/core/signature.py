@@ -58,15 +58,40 @@ def critical_signature(ip: int, line_address: int,
     signature width matches the predictor's index+tag space (128 sets x
     6-bit tag = 2^13) so every distinct signature is representable.
     """
-    signature = _fold(ip >> 2, width)
+    # The fold and mix loops are inlined: this runs once per L1-miss load
+    # response *and* once per prefetch candidate, and the call overhead of
+    # four _fold()s plus _mix() dominated the arithmetic in profiles.  The
+    # arithmetic is exactly :func:`_fold` / :func:`_mix` (kept above both
+    # as documentation and for direct testing).
+    mask = (1 << width) - 1
+    value = (ip >> 2) & 0xFFFFFFFFFFFFFFFF
+    signature = 0
+    while value:
+        signature ^= value & mask
+        value >>= width
     if use_address:
-        signature ^= _fold(line_address >> address_granularity_shift, width)
+        value = (line_address >> address_granularity_shift) \
+            & 0xFFFFFFFFFFFFFFFF
+        while value:
+            signature ^= value & mask
+            value >>= width
     if use_branch_history:
-        slice_mask = (1 << branch_history_bits) - 1
-        signature ^= _fold(branch_history & slice_mask, width)
+        value = branch_history & ((1 << branch_history_bits) - 1)
+        while value:
+            signature ^= value & mask
+            value >>= width
     if use_criticality_history:
-        slice_mask = (1 << criticality_history_bits) - 1
         # Rotate criticality history so it lands on different bits than the
         # branch history instead of cancelling against it.
-        signature ^= _fold((criticality_history & slice_mask) << 5, width)
-    return _mix(signature) & ((1 << width) - 1)
+        value = (criticality_history
+                 & ((1 << criticality_history_bits) - 1)) << 5
+        while value:
+            signature ^= value & mask
+            value >>= width
+    signature &= 0xFFFFFFFF
+    signature ^= signature >> 16
+    signature = (signature * 0x7FEB352D) & 0xFFFFFFFF
+    signature ^= signature >> 15
+    signature = (signature * 0x846CA68B) & 0xFFFFFFFF
+    signature ^= signature >> 16
+    return signature & mask

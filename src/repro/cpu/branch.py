@@ -37,6 +37,16 @@ class HashedPerceptronPredictor:
             max(1, (i * c.history_bits) // max(1, c.num_tables - 1))
             for i in range(c.num_tables)
         ]
+        # Per-table (weights, history mask, hash salt) lanes plus a
+        # preallocated index scratch list: predict_and_train runs once per
+        # branch and must not build lists or re-derive constants.
+        self._lanes = [
+            (self._tables[i], (1 << bits) - 1, i * 0x85EBCA6B)
+            for i, bits in enumerate(self._segment_bits)
+        ]
+        self._scratch = [0] * c.num_tables
+        self._entries = c.table_entries
+        self._threshold = c.threshold
         self.predictions = 0
         self.mispredictions = 0
 
@@ -61,20 +71,39 @@ class HashedPerceptronPredictor:
 
         Returns ``True`` when the prediction was correct.
         """
-        indices = self._indices(ip)
-        total = sum(self._tables[t][i] for t, i in enumerate(indices))
+        # Fused index/sum loop over the precomputed lanes -- arithmetic is
+        # exactly :meth:`_indices` followed by the weight summation.
+        ip_hash = ip >> 2
+        history = self._history
+        entries = self._entries
+        scratch = self._scratch
+        total = 0
+        lane = 0
+        for weights, segment_mask, salt in self._lanes:
+            mixed = ip_hash ^ ((history & segment_mask) * 0x9E3779B1) ^ salt
+            index = (mixed ^ (mixed >> 13)) % entries
+            scratch[lane] = index
+            lane += 1
+            total += weights[index]
         prediction = total >= 0
         correct = prediction == taken
         self.predictions += 1
         if not correct:
             self.mispredictions += 1
-        if not correct or abs(total) <= self.config.threshold:
+        if not correct or abs(total) <= self._threshold:
             delta = 1 if taken else -1
-            for table, index in enumerate(indices):
-                weight = self._tables[table][index] + delta
-                self._tables[table][index] = min(
-                    self._weight_max, max(self._weight_min, weight))
-        self._history = ((self._history << 1) | int(taken)) \
+            weight_max = self._weight_max
+            weight_min = self._weight_min
+            lane = 0
+            for weights, _segment_mask, _salt in self._lanes:
+                weight = weights[scratch[lane]] + delta
+                if weight > weight_max:
+                    weight = weight_max
+                elif weight < weight_min:
+                    weight = weight_min
+                weights[scratch[lane]] = weight
+                lane += 1
+        self._history = ((history << 1) | int(taken)) \
             & self._history_mask
         return correct
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections import deque
 from enum import IntEnum
+from functools import partial
 from typing import Callable, Deque, Dict, List, Optional, Sequence
 
 from repro.config import CoreConfig
@@ -29,6 +30,12 @@ from repro.cpu.branch import HashedPerceptronPredictor
 from repro.trace.record import Op, TraceRecord
 
 INFINITY = float("inf")
+
+# Enum member access goes through EnumType.__getattr__; these run once per
+# dispatched instruction, so bind them as module constants.
+_OP_LOAD = Op.LOAD
+_OP_STORE = Op.STORE
+_OP_BRANCH = Op.BRANCH
 
 
 class ServiceLevel(IntEnum):
@@ -39,6 +46,9 @@ class ServiceLevel(IntEnum):
     L2 = 2
     LLC = 3
     DRAM = 4
+
+
+_LEVEL_L2 = ServiceLevel.L2
 
 
 class RobEntry:
@@ -60,7 +70,9 @@ class RobEntry:
         self.deps = 0
         self.ready_at = cycle
         self.done_at: Optional[int] = None
-        self.dependents: List["RobEntry"] = []
+        #: Waiting consumers; ``None`` until the first one registers, so
+        #: the (majority) producer-less entries never allocate a list.
+        self.dependents: Optional[List["RobEntry"]] = None
         self.became_head_at: Optional[int] = None
         self.service_level = ServiceLevel.UNKNOWN
         self.issued_at: Optional[int] = None
@@ -107,6 +119,7 @@ class Core:
         self.core_id = core_id
         self.config = config
         self.trace = trace
+        self._trace_len = len(trace)
         self.memory = memory
         self.engine = engine
         #: Instructions retired before statistics start counting.
@@ -150,16 +163,22 @@ class Core:
 
     def _retire(self, cycle: int) -> None:
         retired_now = 0
-        while (self.rob and retired_now < self.config.retire_width):
-            head = self.rob[0]
+        rob = self.rob
+        retire_width = self.config.retire_width
+        # ``self._account_retire`` resolves dynamically on purpose: the
+        # sanitizer wraps it as an instance attribute.  One lookup per
+        # tick (not per retirement) still goes through the shim.
+        account_retire = self._account_retire
+        while (rob and retired_now < retire_width):
+            head = rob[0]
             if head.done_at is None or head.done_at > cycle:
                 break
-            self.rob.popleft()
+            rob.popleft()
             retired_now += 1
-            self._account_retire(head, cycle)
-            if self.rob and self.rob[0].became_head_at is None:
-                self.rob[0].became_head_at = cycle
-        if self.retired >= len(self.trace) and not self.rob:
+            account_retire(head, cycle)
+            if rob and rob[0].became_head_at is None:
+                rob[0].became_head_at = cycle
+        if self.retired >= self._trace_len and not rob:
             self.done = True
             self.stats.finish_cycle = cycle - self._warmup_cycle
 
@@ -181,16 +200,17 @@ class Core:
         if entry.done_at is not None and entry.done_at > became_head:
             head_wait = entry.done_at - became_head
         stats.head_stall_cycles += head_wait
-        if entry.op == Op.LOAD:
+        op = entry.op
+        if op == _OP_LOAD:
             stats.loads += 1
-            if entry.service_level >= ServiceLevel.L2:
+            if entry.service_level >= _LEVEL_L2:
                 stats.load_instances_beyond_l1 += 1
                 if head_wait > 0:
                     stats.head_stall_cycles_miss += head_wait
                     stats.critical_load_instances += 1
-        elif entry.op == Op.STORE:
+        elif op == _OP_STORE:
             stats.stores += 1
-        elif entry.op == Op.BRANCH:
+        elif op == _OP_BRANCH:
             stats.branches += 1
         for hook in self.retire_hooks:
             hook(self, entry, cycle, head_wait)
@@ -203,42 +223,60 @@ class Core:
         if self.fetch_stall_until > cycle:
             return
         dispatched = 0
-        while (dispatched < self.config.issue_width
-               and len(self.rob) < self.config.rob_entries
-               and self.pc < len(self.trace)):
-            record = self.trace[self.pc]
-            self.pc += 1
+        config = self.config
+        issue_width = config.issue_width
+        rob_entries = config.rob_entries
+        trace = self.trace
+        trace_len = len(trace)
+        rob = self.rob
+        reg_producer = self.reg_producer
+        dispatch_hooks = self.dispatch_hooks
+        branch_hooks = self.branch_hooks
+        predict_and_train = self.branch_predictor.predict_and_train
+        pc = self.pc
+        seq = self.seq
+        next_cycle = cycle + 1
+        while (dispatched < issue_width
+               and len(rob) < rob_entries
+               and pc < trace_len):
+            record = trace[pc]
+            pc += 1
             dispatched += 1
-            entry = RobEntry(self.seq, record, cycle)
-            self.seq += 1
-            if not self.rob:
+            entry = RobEntry(seq, record, cycle)
+            seq += 1
+            if not rob:
                 entry.became_head_at = cycle
-            self.rob.append(entry)
-            self._wire_dependencies(entry, record, cycle)
-            if record.op == Op.LOAD:
-                for hook in self.dispatch_hooks:
+            rob.append(entry)
+            if record.srcs:
+                self._wire_dependencies(entry, record, cycle)
+            op = record.op
+            if op == _OP_LOAD:
+                for hook in dispatch_hooks:
                     hook(self, entry, cycle)
             if record.dst >= 0:
-                self.reg_producer[record.dst] = entry
+                reg_producer[record.dst] = entry
             stop_fetch = False
-            if record.op == Op.BRANCH:
-                correct = self.branch_predictor.predict_and_train(
-                    record.ip, record.taken)
+            if op == _OP_BRANCH:
+                correct = predict_and_train(record.ip, record.taken)
                 if not correct:
                     self.stats.mispredicts += 1
                     entry.is_mispredict = True
                     stop_fetch = True
-                for hook in self.branch_hooks:
+                for hook in branch_hooks:
                     hook(self, record.ip, record.taken, not correct, cycle)
             if entry.deps == 0:
-                self._begin_execution(entry, max(cycle + 1, entry.ready_at))
+                ready_at = entry.ready_at
+                self._begin_execution(
+                    entry, next_cycle if next_cycle > ready_at else ready_at)
             if stop_fetch:
                 if entry.done_at is not None:
                     self.fetch_stall_until = (entry.done_at
-                                              + self.config.mispredict_penalty)
+                                              + config.mispredict_penalty)
                 else:
                     self.fetch_stall_until = 1 << 62
                 break
+        self.pc = pc
+        self.seq = seq
 
     def _wire_dependencies(self, entry: RobEntry, record: TraceRecord,
                            cycle: int) -> None:
@@ -250,7 +288,11 @@ class Core:
             producers.append((producer.ip, producer.op))
             producer.consumer_count += 1
             if producer.done_at is None:
-                producer.dependents.append(entry)
+                waiting = producer.dependents
+                if waiting is None:
+                    producer.dependents = [entry]
+                else:
+                    waiting.append(entry)
                 entry.deps += 1
             else:
                 entry.ready_at = max(entry.ready_at, producer.done_at)
@@ -262,18 +304,18 @@ class Core:
 
     def _begin_execution(self, entry: RobEntry, start: int) -> None:
         op = entry.op
-        if op == Op.LOAD:
+        if op == _OP_LOAD:
             if start > self.engine.now:
-                self.engine.schedule(start, lambda: self._issue_load(entry))
+                self.engine.schedule(start, self._issue_load, entry)
             else:
                 self._issue_load(entry)
-        elif op == Op.STORE:
+        elif op == _OP_STORE:
             # Stores commit through the store buffer; the write itself is
             # fire-and-forget into the hierarchy.
             self._set_done(entry, start + 1)
             self.memory.issue_store(self.core_id, entry.address, entry.ip,
                                     start)
-        elif op == Op.BRANCH:
+        elif op == _OP_BRANCH:
             self._set_done(entry, start + 1)
         else:
             self._set_done(entry, start + self.config.alu_latency)
@@ -287,13 +329,13 @@ class Core:
             hook(self, entry, cycle)
         self.memory.issue_load(
             self.core_id, entry.address, entry.ip, cycle,
-            lambda done_cycle, level, e=entry:
-                self._on_load_response(e, done_cycle, level))
+            partial(self._on_load_response, entry))
 
     def _on_load_response(self, entry: RobEntry, cycle: int,
                           level: ServiceLevel) -> None:
         self.outstanding_loads -= 1
-        entry.service_level = ServiceLevel(level)
+        entry.service_level = (level if level.__class__ is ServiceLevel
+                               else ServiceLevel(level))
         # Two stall signals: the paper's hardware mechanism checks the
         # *global* ROB-stall flag when a response returns (section 4.1);
         # ground truth for criticality is whether *this* load is the
@@ -319,12 +361,14 @@ class Core:
 
     def _set_done(self, entry: RobEntry, cycle: int) -> None:
         entry.done_at = cycle
-        for dependent in entry.dependents:
-            dependent.ready_at = max(dependent.ready_at, cycle)
-            dependent.deps -= 1
-            if dependent.deps == 0:
-                self._begin_execution(dependent, dependent.ready_at)
-        entry.dependents = []
+        dependents = entry.dependents
+        if dependents is not None:
+            entry.dependents = None
+            for dependent in dependents:
+                dependent.ready_at = max(dependent.ready_at, cycle)
+                dependent.deps -= 1
+                if dependent.deps == 0:
+                    self._begin_execution(dependent, dependent.ready_at)
         if entry.is_mispredict:
             self.fetch_stall_until = cycle + self.config.mispredict_penalty
             self.next_wake = min(self.next_wake, self.fetch_stall_until)
@@ -345,7 +389,7 @@ class Core:
             if head.done_at is not None:
                 wake = max(head.done_at, cycle + 1)
             # A pending head wakes us through its completion event.
-        can_fetch = (self.pc < len(self.trace)
+        can_fetch = (self.pc < self._trace_len
                      and len(self.rob) < self.config.rob_entries)
         if can_fetch:
             if self.fetch_stall_until <= cycle:

@@ -8,13 +8,15 @@ spreading over every channel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.config import DramConfig
 
 
-@dataclass(frozen=True)
-class DramCoordinates:
+class DramCoordinates(NamedTuple):
+    # A NamedTuple, not a frozen dataclass: locate() runs once per DRAM
+    # transaction and tuple construction skips the per-field
+    # object.__setattr__ a frozen dataclass pays.
     channel: int
     bank: int
     row: int
@@ -28,14 +30,16 @@ class AddressMapping:
         self.lines_per_row = config.row_buffer_bytes // line_size
         if self.lines_per_row < 1:
             raise ValueError("row buffer smaller than a cache line")
+        # Geometry is fixed at construction; locate() reads locals, not
+        # two levels of attribute indirection.
+        self.channels = config.channels
+        self.banks = config.banks_per_channel
 
     def locate(self, line: int) -> DramCoordinates:
-        channels = self.config.channels
+        channels = self.channels
         channel = line % channels
-        in_channel = line // channels
-        row_chunk = in_channel // self.lines_per_row
-        banks = self.config.banks_per_channel
-        row = row_chunk // banks
+        row_chunk = (line // channels) // self.lines_per_row
+        row = row_chunk // self.banks
         # XOR bank hashing (all row bits folded into the bank index in
         # 4-bit groups): spreads power-of-two-strided and base-aligned
         # streams across banks, as every modern controller does to avoid
@@ -45,4 +49,4 @@ class AddressMapping:
         while folded:
             bank ^= folded
             folded >>= 4
-        return DramCoordinates(channel=channel, bank=bank % banks, row=row)
+        return DramCoordinates(channel, bank % self.banks, row)

@@ -106,6 +106,11 @@ class DramChannel:
         self.in_flight = 0
         self.stats = DramChannelStats()
         self._draining_writes = False
+        self._writes_left_in_batch = config.write_drain_batch
+        #: Write-drain trigger depth, fixed at construction (recomputing
+        #: it per pick showed up in profiles).
+        self._write_watermark = int(config.write_queue_entries
+                                    * config.write_watermark)
 
     # ------------------------------------------------------------------
 
@@ -131,13 +136,12 @@ class DramChannel:
 
     def _pick(self, now: int) -> Optional[DramRequest]:
         config = self.config
-        watermark = int(config.write_queue_entries * config.write_watermark)
         if self._draining_writes:
             request = self._pop_write(now)
             if request is not None:
                 return request
             self._draining_writes = False
-        if len(self.write_queue) >= watermark:
+        if len(self.write_queue) >= self._write_watermark:
             self._draining_writes = True
             self._writes_left_in_batch = config.write_drain_batch
             request = self._pop_write(now)
@@ -158,8 +162,7 @@ class DramChannel:
         request = self._pop_best(self.write_queue, None, now)
         if request is None:
             return None
-        self._writes_left_in_batch = getattr(
-            self, "_writes_left_in_batch", self.config.write_drain_batch) - 1
+        self._writes_left_in_batch -= 1
         if self._writes_left_in_batch <= 0 or not self.write_queue:
             self._draining_writes = False
         return request
@@ -235,14 +238,13 @@ class DramChannel:
         self.in_flight += 1
         if request.callback is _ignore_completion:
             self.stats.writes += 1
-            self.engine.schedule(done, lambda: self._finish(None, done))
+            self.engine.schedule(done, self._finish, None, done)
         else:
             self.stats.reads += 1
             self.stats.total_read_latency += done - request.enqueued_at
             if request.is_prefetch:
                 self.stats.prefetch_reads += 1
-            self.engine.schedule(done,
-                                 lambda: self._finish(request.callback, done))
+            self.engine.schedule(done, self._finish, request.callback, done)
 
     def _finish(self, callback: Optional[Callable[[int], None]],
                 done: int) -> None:

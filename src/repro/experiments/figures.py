@@ -835,6 +835,18 @@ def core_count_sensitivity(runner: Optional[ExperimentRunner] = None,
     runner = _runner(runner)
     workloads = runner.scale.sample_homogeneous()[:4]
     grid = [(4, 1), (8, 1), (8, 2), (16, 2)]
+    # One batch for the whole grid: cold points fan out across
+    # REPRO_JOBS together instead of per grid entry.
+    specs = []
+    for cores, channels in grid:
+        for label in ("berti", "berti+clip"):
+            scheme = _scheme(label, num_cores=cores)
+            for workload in workloads:
+                specs.append(runner.spec_homogeneous(scheme, workload,
+                                                     channels))
+                specs.append(runner.spec_homogeneous(scheme.baseline(),
+                                                     workload, channels))
+    runner.run_sweep(specs)
     out: Dict[str, Dict[str, float]] = {}
     for cores, channels in grid:
         key = f"{cores}c/{channels}ch"

@@ -50,6 +50,9 @@ class MeshNoc:
         # (from_node, to_node) -> [high-priority reserved-until,
         #                          any-priority reserved-until]
         self._links: Dict[Tuple[int, int], List[int]] = {}
+        # XY routes are static, so (src, dst) -> link list is memoised;
+        # a dim x dim mesh has at most dim^4 pairs and send() is hot.
+        self._routes: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
         self.stats = NocStats()
 
     # ------------------------------------------------------------------
@@ -96,17 +99,24 @@ class MeshNoc:
         if src == dst:
             # Local slice access: one router traversal, no links.
             return now + config.router_latency
-        for link in self.route(src, dst):
-            reserved = self._links.get(link)
+        pair = (src, dst)
+        path = self._routes.get(pair)
+        if path is None:
+            path = self.route(src, dst)
+            self._routes[pair] = path
+        links = self._links
+        data_packet_flits = config.data_packet_flits
+        for link in path:
+            reserved = links.get(link)
             if reserved is None:
                 reserved = [0, 0]
-                self._links[link] = reserved
+                links[link] = reserved
             if high_priority:
                 # Priority VCs jump the queue but cannot preempt a packet
                 # already on the wire: wait out up to one data packet of
                 # the low-priority backlog.
                 earliest = max(reserved[0],
-                               reserved[1] - self.config.data_packet_flits)
+                               reserved[1] - data_packet_flits)
             else:
                 earliest = reserved[1]
             start = max(time, earliest)
@@ -122,7 +132,8 @@ class MeshNoc:
         stats.packets += 1
         stats.flits += flits
         stats.total_latency += arrival - now
-        stats.total_hops += self.hops(src, dst)
+        # One XY link per hop, so the memoised path doubles as the count.
+        stats.total_hops += len(path)
         if high_priority:
             stats.high_priority_packets += 1
         return arrival

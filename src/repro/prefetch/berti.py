@@ -60,11 +60,15 @@ class BertiPrefetcher(Prefetcher):
     def __init__(self, degree: int = 6) -> None:
         self.degree = degree
         self._scale = 1.0
+        #: ``round(degree * scale)``, recomputed only when the throttle
+        #: rescales -- on_access runs per demand access.
+        self._effective_degree = max(0, int(round(degree * self._scale)))
         self._table: Dict[int, _IpState] = {}
         self._lru: Deque[int] = deque()
 
     def set_degree_scale(self, scale: float) -> None:
         self._scale = max(0.0, scale)
+        self._effective_degree = max(0, int(round(self.degree * self._scale)))
 
     # ------------------------------------------------------------------
 
@@ -84,11 +88,14 @@ class BertiPrefetcher(Prefetcher):
         line = address >> _LINE_SHIFT
         state = self._state(ip)
         state.history.append((line, cycle))
-        degree = max(0, int(round(self.degree * self._scale)))
-        if not state.best or not degree:
+        degree = self._effective_degree
+        best = state.best
+        if not best or not degree:
             return []
+        if len(best) > degree:
+            best = best[:degree]
         requests: List[PrefetchRequest] = []
-        for delta, coverage in state.best[:degree]:
+        for delta, coverage in best:
             target = (line + delta) << _LINE_SHIFT
             if target <= 0:
                 continue

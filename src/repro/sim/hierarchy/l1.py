@@ -27,6 +27,11 @@ if TYPE_CHECKING:
     from repro.sim.hierarchy.llc import LlcSlice
     from repro.sim.hierarchy.node import CoreNode
 
+#: Enum member lookups are attribute loads on the metaclass -- hoisted
+#: once, they cost a plain global load on the hit path.
+_LEVEL_L1 = ServiceLevel.L1
+_LEVEL_DRAM = ServiceLevel.DRAM
+
 
 class L1Node:
     """Private L1D: cache + MSHR port + prefetcher + issue mechanisms."""
@@ -67,45 +72,50 @@ class L1Node:
             translation = self.mmu.translate(address)
             if translation:
                 # Re-enter after the TLB/page-walk latency has elapsed.
-                self.port.schedule(
-                    cycle + translation,
-                    lambda: self._load_translated(address, ip,
-                                                  self.port.now, callback))
+                self.port.schedule(cycle + translation,
+                                   self._load_after_translation,
+                                   address, ip, callback)
                 return
         self._load_translated(address, ip, cycle, callback)
+
+    def _load_after_translation(self, address: int, ip: int,
+                                callback: Callable) -> None:
+        self._load_translated(address, ip, self.port.now, callback)
 
     def _load_translated(self, address: int, ip: int, cycle: int,
                          callback: Callable) -> None:
         node = self.node
+        chain = node.chain
+        clip = self.clip
         line = privatize(self.core_id, address)
-        if self.clip is not None:
-            self.clip.on_l1d_access(line, cycle)
-        node.chain.note_demand_access(cycle)
+        if clip is not None:
+            clip.on_l1d_access(line, cycle)
+        chain.note_demand_access(cycle)
         hit = self.cache.access(line, ip, cycle)
-        if self.prefetcher is not None:
-            candidates = self.prefetcher.on_access(ip, address, hit, cycle)
+        prefetcher = self.prefetcher
+        if prefetcher is not None:
+            candidates = prefetcher.on_access(ip, address, hit, cycle)
             if candidates:
-                node.chain.handle(candidates, cycle)
-        dspatch = node.chain.dspatch
+                chain.handle(candidates, cycle)
+        dspatch = chain.dspatch
         if dspatch is not None:
             extra = dspatch.observe(ip, address,
-                                    node.chain.channel_utilization)
+                                    chain.channel_utilization)
             if extra:
-                node.chain.handle(extra, cycle, dspatch_generated=True)
+                chain.handle(extra, cycle, dspatch_generated=True)
         if self.hermes is not None:
             callback = self._wrap_hermes(ip, address, callback)
         if hit:
             done = cycle + self.latency
             if self.trace is not None:
                 self.trace.append(RequestRecord(
-                    self.core_id, address, cycle, done, ServiceLevel.L1,
+                    self.core_id, address, cycle, done, _LEVEL_L1,
                     False))
-            self.port.schedule(
-                done, lambda: callback(done, ServiceLevel.L1))
+            self.port.schedule(done, callback, done, _LEVEL_L1)
             return
         node.demand_l1_misses += 1
-        if self.clip is not None:
-            self.clip.on_l1d_miss(cycle)
+        if clip is not None:
+            clip.on_l1d_miss(cycle)
         if self.hermes is not None and self.hermes.predict_offchip(ip,
                                                                    address):
             self._hermes_launch(line, cycle)
@@ -118,12 +128,14 @@ class L1Node:
         if self.mmu is not None:
             translation = self.mmu.translate(address)
             if translation:
-                self.port.schedule(
-                    cycle + translation,
-                    lambda: self._store_translated(address, ip,
-                                                   self.port.now))
+                self.port.schedule(cycle + translation,
+                                   self._store_after_translation,
+                                   address, ip)
                 return
         self._store_translated(address, ip, cycle)
+
+    def _store_after_translation(self, address: int, ip: int) -> None:
+        self._store_translated(address, ip, self.port.now)
 
     def _store_translated(self, address: int, ip: int, cycle: int) -> None:
         node = self.node
@@ -259,10 +271,10 @@ class L1Node:
         mshr.allocated_at = req.t0
         if callback is not None:
             mshr.waiters.append((callback, req.t0))
-        self.port.schedule(
-            cycle + self.latency,
-            lambda: self.downstream.request(req, self.port.now,
-                                            respond=self._complete))
+        self.port.schedule(cycle + self.latency, self._forward_to_l2, req)
+
+    def _forward_to_l2(self, req: MemoryRequest) -> None:
+        self.downstream.request(req, self.port.now, respond=self._complete)
 
     def _complete(self, resp) -> None:
         """Fill from below: release the MSHR, fill the cache, wake waiters."""
@@ -287,8 +299,7 @@ class L1Node:
                 self.trace.append(RequestRecord(
                     self.core_id, mshr.address, t0, t, ServiceLevel(level),
                     mshr.is_prefetch))
-            for lvl in range(ServiceLevel.L1, min(level,
-                                                  ServiceLevel.DRAM) + 1):
+            for lvl in range(_LEVEL_L1, min(level, _LEVEL_DRAM) + 1):
                 if lvl < level:
                     # The load missed at lvl; its latency counts toward
                     # lvl's demand miss latency (Fig. 3 accounting).

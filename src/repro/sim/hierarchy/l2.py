@@ -25,6 +25,8 @@ if TYPE_CHECKING:
 #: A response callback: receives the fill's :class:`MemoryResponse`.
 Respond = Callable[[MemoryResponse], None]
 
+_LEVEL_L2 = ServiceLevel.L2
+
 
 class L2Node:
     """Per-core private L2 between the L1 node and the shared LLC."""
@@ -60,9 +62,8 @@ class L2Node:
         if hit:
             if respond is not None:
                 done = cycle + self.latency
-                self.port.schedule(
-                    done, lambda: respond(MemoryResponse(
-                        line, done, ServiceLevel.L2)))
+                self.port.schedule(done, respond,
+                                   MemoryResponse(line, done, _LEVEL_L2))
             return
         mshr = self.port.lookup(line)
         if mshr is not None:
@@ -94,16 +95,15 @@ class L2Node:
         mshr.address = req.address
         if respond is not None:
             mshr.waiters.append(respond)
-        self.port.schedule(cycle + self.latency,
-                           lambda: self._to_llc(req))
+        self.port.schedule(cycle + self.latency, self._to_llc, req)
 
     def _to_llc(self, req: MemoryRequest) -> None:
         """Cross the NoC to the line's LLC slice."""
         now = self.port.now
-        slice_id = self.slice_of(req.line)
+        slice_ = self.slices[self.slice_of(req.line)]
         self.link.request(
-            self.node.core_id, slice_id, now, req.high_priority,
-            lambda: self.slices[slice_id].lookup(req, self.node))
+            self.node.core_id, slice_.slice_id, now, req.high_priority,
+            slice_.lookup, req, self.node)
 
     def complete(self, resp: MemoryResponse) -> None:
         """Fill from the LLC side: release, fill, wake response callbacks."""

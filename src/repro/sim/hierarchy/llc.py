@@ -21,6 +21,9 @@ from repro.sim.hierarchy.port import Port
 if TYPE_CHECKING:
     from repro.sim.hierarchy.node import CoreNode
 
+_LEVEL_LLC = ServiceLevel.LLC
+_LEVEL_DRAM = ServiceLevel.DRAM
+
 
 class LlcSlice:
     """One bank of the shared LLC plus its MSHR and DRAM gateway."""
@@ -54,25 +57,22 @@ class LlcSlice:
                                 is_demand=not req.is_prefetch)
         if hit:
             ready = now + self.latency
-            self.link.data(
-                self.slice_id, origin.core_id, ready, high,
-                deliver=lambda: origin.l2.complete(MemoryResponse(
-                    line, self.port.now, ServiceLevel.LLC)))
+            self.link.data(self.slice_id, origin.core_id, ready, high,
+                           self._deliver, origin, line, _LEVEL_LLC)
             return
         # Hermes may already have the line in flight from DRAM.
         if origin.hermes is not None and line in origin.hermes_pending:
             origin.hermes_pending[line].append(
                 lambda t: self._return_data(origin, line,
                                             max(t, now + self.latency),
-                                            high, ServiceLevel.DRAM))
+                                            high, _LEVEL_DRAM))
             return
         mshr = self.port.lookup(line)
-
-        def waiter(t: int) -> None:
-            self._return_data(origin, line, t, high, ServiceLevel.DRAM)
-
+        # DRAM-side waiters are stored as plain (origin, high) pairs --
+        # :meth:`_dram_done` knows how to route them -- so the hot miss
+        # path allocates no closures.
         if mshr is not None:
-            self.port.merge(mshr, waiter, req.is_prefetch)
+            self.port.merge(mshr, (origin, high), req.is_prefetch)
             return
         if self.port.full:
             # Every request reaching the LLC holds an L2 MSHR upstream, so
@@ -81,21 +81,23 @@ class LlcSlice:
             return
         mshr = self.port.allocate(line, req.is_prefetch, req.crit, req.ip,
                                   now)
-        mshr.waiters.append(waiter)
+        mshr.waiters.append((origin, high))
         ready = now + self.latency
-        self.port.schedule(
-            ready,
-            lambda: self.dram.read(
-                line, self.port.now,
-                lambda t: self._dram_done(line, t),
-                is_prefetch=req.is_prefetch, crit=req.crit))
+        self.port.schedule(ready, self._issue_dram_read, line,
+                           req.is_prefetch, req.crit)
+
+    def _issue_dram_read(self, line: int, is_prefetch: bool,
+                         crit: bool) -> None:
+        self.dram.read(line, self.port.now,
+                       lambda t: self._dram_done(line, t),
+                       is_prefetch=is_prefetch, crit=crit)
 
     def _dram_done(self, line: int, t: int) -> None:
         mshr = self.port.release(line)
         prefetch_fill = mshr.is_prefetch and not mshr.demand_merged
         self.fill(line, t, pc=mshr.trigger_ip, prefetch=prefetch_fill)
-        for waiter in mshr.waiters:
-            waiter(t)
+        for origin, high in mshr.waiters:
+            self._return_data(origin, line, t, high, _LEVEL_DRAM)
         self.port.replay()
 
     def fill(self, line: int, t: int, pc: int, prefetch: bool,
@@ -110,7 +112,10 @@ class LlcSlice:
 
     def _return_data(self, origin: "CoreNode", line: int, t: int,
                      high: bool, level: ServiceLevel) -> None:
-        self.link.data(
-            self.slice_id, origin.core_id, t, high,
-            deliver=lambda: origin.l2.complete(MemoryResponse(
-                line, self.port.now, level)))
+        self.link.data(self.slice_id, origin.core_id, t, high,
+                       self._deliver, origin, line, level)
+
+    def _deliver(self, origin: "CoreNode", line: int,
+                 level: ServiceLevel) -> None:
+        """Arrival handler: hand the fill to the origin core's L2."""
+        origin.l2.complete(MemoryResponse(line, self.port.now, level))

@@ -11,7 +11,7 @@ re-read from the port, never the request fields.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.cpu.core_model import ServiceLevel
 
@@ -27,8 +27,7 @@ def privatize(core_id: int, address: int) -> int:
     return (address >> LINE_SHIFT) | (core_id << CORE_SPACE_SHIFT)
 
 
-@dataclass(frozen=True)
-class MemoryRequest:
+class MemoryRequest(NamedTuple):
     """One request descending the hierarchy.
 
     ``line`` is the privatised line address used by every shared
@@ -38,6 +37,12 @@ class MemoryRequest:
     DRAM (``high_priority``).  ``t0`` is the cycle the originating
     demand issued -- latency accounting and Berti timeliness are
     measured from it even when the request sat in a pending queue first.
+
+    A NamedTuple rather than a frozen dataclass: still immutable (a
+    request queued behind a full MSHR replays with exactly the identity
+    it was issued with), but construction skips the per-field
+    ``object.__setattr__`` frozen dataclasses pay, and one is built per
+    miss and per issued prefetch.
     """
 
     line: int
@@ -55,8 +60,7 @@ class MemoryRequest:
         return (not self.is_prefetch) or self.crit
 
 
-@dataclass(frozen=True)
-class MemoryResponse:
+class MemoryResponse(NamedTuple):
     """One completion climbing back up: ``line`` is filled at ``at``,
     having been serviced at ``level`` of the hierarchy."""
 

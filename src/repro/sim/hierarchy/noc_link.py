@@ -25,20 +25,21 @@ class NocLink:
         self.port = port
 
     def request(self, src: int, dst: int, now: int, high_priority: bool,
-                deliver: Callable[[], None]) -> None:
-        """Send a single-flit request packet; run ``deliver`` on arrival."""
+                deliver: Callable[..., None], *args) -> None:
+        """Send a single-flit request packet; run ``deliver(*args)`` on
+        arrival."""
         arrival = self.noc.send_request(src, dst, now, high_priority)
-        self.port.schedule(arrival, deliver)
+        self.port.schedule(arrival, deliver, *args)
 
     def data(self, src: int, dst: int, now: int, high_priority: bool,
-             deliver: Optional[Callable[[], None]] = None) -> int:
+             deliver: Optional[Callable[..., None]] = None, *args) -> int:
         """Send a line-sized data packet, returning the arrival cycle.
 
         Without ``deliver`` the packet only occupies links (fire-and-
-        forget writeback traffic); with it, the receiver's handler runs
-        at arrival.
+        forget writeback traffic); with it, ``deliver(*args)`` runs at
+        arrival.
         """
         arrival = self.noc.send_data(src, dst, now, high_priority)
         if deliver is not None:
-            self.port.schedule(arrival, deliver)
+            self.port.schedule(arrival, deliver, *args)
         return arrival

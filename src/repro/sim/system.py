@@ -16,7 +16,8 @@ CLIP/criticality predictors attached to cores) and result collection.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.invariants import check
 from repro.analysis.sanitizer import install_sanitizer, sanitize_enabled
@@ -31,8 +32,33 @@ from repro.sim.tracing import RequestTrace
 from repro.sim.stats import (ClipResult, CoreResult, CriticalityResult,
                              DramResult, LevelStats, NocResult,
                              PrefetchStats, SimulationResult)
+from repro.trace.record import TraceRecord
 from repro.trace.synthetic import SyntheticWorkload
 from repro.trace.workloads import get_workload
+
+#: Generated synthetic traces, shared across runs.  Generation is
+#: deterministic in (spec content, core_id, length) and the simulator
+#: never mutates records, so a sweep running the same mix under many
+#: schemes pays trace generation once instead of once per scheme.  The
+#: spec ``repr`` keys by content, not identity: ad-hoc specs reusing a
+#: registered name cannot collide.  A small LRU bounds memory.
+_TRACE_CACHE: "OrderedDict[Tuple, List[TraceRecord]]" = OrderedDict()
+_TRACE_CACHE_ENTRIES = 128
+
+
+def _workload_trace(name: str, length: int,
+                    core_id: int) -> List[TraceRecord]:
+    spec = get_workload(name)
+    key = (name, repr(spec), core_id, length)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = SyntheticWorkload(spec).generate(length, core_id=core_id)
+        _TRACE_CACHE[key] = trace
+        if len(_TRACE_CACHE) > _TRACE_CACHE_ENTRIES:
+            _TRACE_CACHE.popitem(last=False)
+    else:
+        _TRACE_CACHE.move_to_end(key)
+    return trace
 
 
 class MulticoreSystem:
@@ -104,8 +130,7 @@ class MulticoreSystem:
         config = self.config
         length = config.warmup_instructions + config.sim_instructions
         for core_id, name in enumerate(self.workload_names):
-            trace = SyntheticWorkload(get_workload(name)).generate(
-                length, core_id=core_id)
+            trace = _workload_trace(name, length, core_id)
             core = Core(core_id, config.core, trace,
                         memory=self.hierarchy, engine=self.engine,
                         branch_predictor=HashedPerceptronPredictor(

@@ -29,7 +29,9 @@ Generation is fully deterministic given (spec, core id, length).
 
 from __future__ import annotations
 
+import bisect
 import hashlib
+import itertools
 import random
 from dataclasses import dataclass, field
 from typing import List, Optional
@@ -156,18 +158,36 @@ class SyntheticWorkload:
         out: List[TraceRecord] = []
         next_reg = 0
         phase = 0
+        num_streams = len(states)
+        # Per-phase cumulative weight tables, built once: the stream pick
+        # below replicates ``rng.choices(range(n + 1), weights=w)[0]``
+        # bit-for-bit (one rng.random() draw, bisect over the cumulative
+        # weights) without rebuilding the weight lists every bundle.
+        phase_tables = [self._phase_cum_weights(p)
+                        for p in range(self.spec.phases)]
+        phases = self.spec.phases
+        phase_length = self.spec.phase_length
         while len(out) < length:
-            if self.spec.phases > 1:
-                phase = (len(out) // self.spec.phase_length) % self.spec.phases
-            weights = self._phase_weights(phase)
-            choice = rng.choices(range(len(states) + 1), weights=weights)[0]
-            if choice == len(states):
+            if phases > 1:
+                phase = (len(out) // phase_length) % phases
+            cum_weights, total = phase_tables[phase]
+            choice = bisect.bisect(cum_weights, rng.random() * total,
+                                   0, num_streams)
+            if choice == num_streams:
                 next_reg = self._emit_filler(out, rng, base_ip, next_reg)
             else:
                 next_reg = self._emit_bundle(
                     states[choice], out, rng, next_reg)
         del out[length:]
         return out
+
+    def _phase_cum_weights(self, phase: int) -> tuple:
+        """(cumulative weights, float total) for one phase's stream pick."""
+        cum_weights = list(itertools.accumulate(self._phase_weights(phase)))
+        total = cum_weights[-1] + 0.0
+        if total <= 0.0:
+            raise ValueError("Total of weights must be greater than zero")
+        return cum_weights, total
 
     def _phase_weights(self, phase: int) -> List[float]:
         """Stream weights for ``phase``; phases rotate stream emphasis."""

@@ -70,9 +70,83 @@ def _point_mechanisms_stride() -> Tuple[SystemConfig, List[str]]:
     return config, ["619.lbm_s-2676B", "605.mcf_s-1536B"]
 
 
+def _point_bingo_hpac() -> Tuple[SystemConfig, List[str]]:
+    """Bingo L1 spatial prefetcher under the HPAC coordinated throttle.
+
+    Pins the footprint/bitmap learning path and the multi-signal HPAC
+    epoch decisions.  Bingo only predicts once generations retire into
+    its event history, so this point runs long enough on a
+    region-churning mix for replays to actually fire.
+    """
+    config = _base(instructions=8_000)
+    config.l1_prefetcher = dataclasses.replace(config.l1_prefetcher,
+                                               name="bingo")
+    config.throttle.name = "hpac"
+    return config, ["605.mcf_s-1536B", "605.mcf_s-472B"]
+
+
+def _point_ipcp_nst() -> Tuple[SystemConfig, List[str]]:
+    """IPCP L1 prefetcher with the NST (negative-slack) throttle.
+
+    Pins the per-class (CS/CPLX/GS) IPCP state machines and the NST
+    epoch rescaling over an irregular mix.
+    """
+    config = _base()
+    config.l1_prefetcher = dataclasses.replace(config.l1_prefetcher,
+                                               name="ipcp")
+    config.throttle.name = "nst"
+    return config, ["602.gcc_s-1850B", "605.mcf_s-994B"]
+
+
+def _point_spp_ppf_l2() -> Tuple[SystemConfig, List[str]]:
+    """SPP+PPF alone at L2 (no L1 prefetcher).
+
+    Pins the signature-path lookahead and perceptron filter without any
+    L1-side traffic shaping in front of it.
+    """
+    config = _base()
+    config.l1_prefetcher = dataclasses.replace(config.l1_prefetcher,
+                                               name="none")
+    config.l2_prefetcher = dataclasses.replace(config.l2_prefetcher,
+                                               name="spp_ppf")
+    return config, ["bfs-14", "649.fotonik3d_s-10881B"]
+
+
+def _point_streamer_clip() -> Tuple[SystemConfig, List[str]]:
+    """Streamer L1 prefetcher gated by CLIP over graph workloads.
+
+    Pins stream-direction training plus the CLIP admission path for a
+    prefetcher with very different candidate volume than berti.
+    """
+    config = _base()
+    config.l1_prefetcher = dataclasses.replace(config.l1_prefetcher,
+                                               name="streamer")
+    config.clip.enabled = True
+    return config, ["pr-14", "cc-14"]
+
+
+def _point_bingo_l2_crisp() -> Tuple[SystemConfig, List[str]]:
+    """Berti L1 + Bingo L2 with the CRISP criticality measurer.
+
+    Pins dual-level prefetch interaction (L1 fills seeding L2 training)
+    and a non-gating baseline criticality predictor's bookkeeping.
+    """
+    config = _base()
+    config.l2_prefetcher = dataclasses.replace(config.l2_prefetcher,
+                                               name="bingo")
+    config.criticality.name = "crisp"
+    config.criticality.gate = False
+    return config, ["620.omnetpp_s-141B", "623.xalancbmk_s-165B"]
+
+
 #: name -> builder returning (config, workload mix).
 POINTS: Dict[str, Callable[[], Tuple[SystemConfig, List[str]]]] = {
     "none_mcf": _point_none_mcf,
     "clip_berti_hetero": _point_clip_berti_hetero,
     "mechanisms_stride": _point_mechanisms_stride,
+    "bingo_hpac": _point_bingo_hpac,
+    "ipcp_nst": _point_ipcp_nst,
+    "spp_ppf_l2": _point_spp_ppf_l2,
+    "streamer_clip": _point_streamer_clip,
+    "bingo_l2_crisp": _point_bingo_l2_crisp,
 }

@@ -58,8 +58,8 @@ class TestBertiScoring:
 
 
 def _drain(engine: Engine) -> None:
-    while engine._events:
-        engine.now = engine._events[0][0]
+    while engine.pending_events:
+        engine.now = engine.next_event_cycle
         engine._drain_events_at(engine.now)
 
 

@@ -1,0 +1,134 @@
+"""Seeded property/fuzz tests for the event engine's ordering contract.
+
+The perf work in the engine (bucketed same-cycle drains, bound-method
+callbacks) is only legal if the externally observable contract is
+untouched:
+
+* events fire in ``(cycle, insertion-order)`` order -- FIFO within a
+  cycle, globally sorted across cycles;
+* ``now`` is monotonic, including through the post-run quiescence
+  drain;
+* ``quiesce_cycle`` equals the cycle of the last drained event;
+* scheduling into the past raises ``ValueError``.
+
+Random schedule sequences (fixed seeds, including callbacks that
+re-schedule new events mid-drain) exercise those properties far beyond
+what the handwritten unit tests cover.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+class _OneShotCore:
+    """A core that retires on its first tick, leaving events in flight."""
+
+    def __init__(self) -> None:
+        self.next_wake = 0.0
+        self.done = False
+
+    def tick(self, cycle: int) -> None:
+        self.done = True
+
+
+def _fuzz_run(seed: int, initial_events: int = 120,
+              horizon: int = 60, respawn_window: int = 25):
+    """Run a random schedule sequence; returns (engine, schedule log,
+    firing log)."""
+    rng = random.Random(seed)
+    engine = Engine()
+    scheduled = []  # (cycle, insertion sequence) at schedule time
+    fired = []      # (engine.now, insertion sequence) at fire time
+
+    def make_event(sequence: int, cycle: int, depth: int):
+        def fire() -> None:
+            fired.append((engine.now, sequence))
+            # Sometimes spawn follow-up events mid-drain, including at
+            # the *current* cycle (same-cycle growth during a drain).
+            if depth < 3 and rng.random() < 0.4:
+                offset = rng.randrange(0, respawn_window)
+                submit(engine.now + offset, depth + 1)
+        return fire
+
+    def submit(cycle: int, depth: int) -> None:
+        sequence = len(scheduled)
+        scheduled.append((cycle, sequence))
+        engine.schedule(cycle, make_event(sequence, cycle, depth))
+
+    for _ in range(initial_events):
+        submit(rng.randrange(0, horizon), 0)
+    engine.run([_OneShotCore()])
+    return engine, scheduled, fired
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_events_fire_in_cycle_then_insertion_order(seed):
+    _, scheduled, fired = _fuzz_run(seed)
+    assert len(fired) == len(scheduled)
+    expected = [sequence for _, sequence in sorted(scheduled)]
+    assert [sequence for _, sequence in fired] == expected
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_now_monotonic_and_events_never_fire_early(seed):
+    _, scheduled, fired = _fuzz_run(seed)
+    cycles = [cycle for cycle, _ in fired]
+    assert cycles == sorted(cycles), "now went backwards during drain"
+    by_sequence = dict((sequence, cycle) for cycle, sequence in scheduled)
+    for fired_at, sequence in fired:
+        assert fired_at >= by_sequence[sequence]
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_quiesce_cycle_is_last_drained_event(seed):
+    engine, scheduled, fired = _fuzz_run(seed)
+    assert engine.events_processed == len(scheduled)
+    assert engine.quiesce_cycle == fired[-1][0]
+    assert engine.now == engine.quiesce_cycle
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_scheduling_into_the_past_raises(seed):
+    engine, _, _ = _fuzz_run(seed)
+    assert engine.now > 0
+    with pytest.raises(ValueError):
+        engine.schedule(engine.now - 1, lambda: None)
+
+
+def test_past_schedule_raises_mid_drain():
+    """A callback that tries to schedule behind ``now`` must fail even
+    while a drain is in progress."""
+    engine = Engine()
+    failures = []
+
+    def advance() -> None:
+        try:
+            engine.schedule(engine.now - 1, lambda: None)
+        except ValueError:
+            failures.append(engine.now)
+
+    engine.schedule(5, advance)
+    engine.run([_OneShotCore()])
+    assert failures == [5]
+
+
+def test_schedule_at_now_during_drain_runs_this_cycle():
+    """Events scheduled *at* the current cycle from inside a callback
+    still fire within the same drain, after already-queued peers."""
+    engine = Engine()
+    order = []
+
+    def first() -> None:
+        order.append("first")
+        engine.schedule(engine.now, lambda: order.append("spawned"))
+
+    engine.schedule(3, first)
+    engine.schedule(3, lambda: order.append("second"))
+    engine.run([_OneShotCore()])
+    assert order == ["first", "second", "spawned"]
+    assert engine.quiesce_cycle == 3

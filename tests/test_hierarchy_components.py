@@ -133,8 +133,8 @@ class TestMessages:
 
     def test_priority_rules(self):
         demand = MemoryRequest(line=1, address=0x40, ip=0, core_id=0)
-        prefetch = dataclasses.replace(demand, is_prefetch=True)
-        critical = dataclasses.replace(prefetch, crit=True)
+        prefetch = demand._replace(is_prefetch=True)
+        critical = prefetch._replace(crit=True)
         assert demand.high_priority
         assert not prefetch.high_priority
         assert critical.high_priority
@@ -142,9 +142,9 @@ class TestMessages:
     def test_messages_are_frozen(self):
         req = MemoryRequest(line=1, address=0x40, ip=0, core_id=0)
         resp = MemoryResponse(line=1, at=10, level=ServiceLevel.L2)
-        with pytest.raises(dataclasses.FrozenInstanceError):
+        with pytest.raises(AttributeError):
             req.line = 2
-        with pytest.raises(dataclasses.FrozenInstanceError):
+        with pytest.raises(AttributeError):
             resp.at = 11
 
 

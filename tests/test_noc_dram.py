@@ -138,8 +138,8 @@ class TestDramChannel:
         idle = _Idle()
         idle.done = False
         # Run the event loop until no events remain.
-        while engine._events:
-            engine.now = engine._events[0][0]
+        while engine.pending_events:
+            engine.now = engine.next_event_cycle
             engine._drain_events_at(engine.now)
 
     def test_single_read_latency_components(self):

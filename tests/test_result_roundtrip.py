@@ -1,0 +1,68 @@
+"""Serialisation invariance: results round-trip and cache keys hold.
+
+Two pins that make the hot-path ``__slots__`` / dict-fast-path work
+safe to land:
+
+* ``SimulationResult.to_dict()/from_dict()`` stays lossless for every
+  committed equivalence golden (the goldens double as a corpus of
+  realistic, fully-populated result trees);
+* ``RunSpec.cache_key()`` is byte-stable -- the keys below were
+  captured before the perf refactor, so any accidental change to config
+  materialisation (field order, defaults, repr of nested values) or a
+  spurious ``CACHE_SCHEMA_VERSION`` bump fails here instead of silently
+  invalidating every on-disk sweep cache.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from equivalence_points import GOLDEN_DIR, POINTS
+
+from repro.experiments.sweep import CACHE_SCHEMA_VERSION, RunSpec, Scheme
+from repro.sim.stats import SimulationResult
+
+
+@pytest.mark.parametrize("point", sorted(POINTS))
+def test_result_dict_roundtrip_is_lossless(point):
+    golden = json.loads((GOLDEN_DIR / f"{point}.json").read_text())
+    tree = golden["result"]
+    rebuilt = SimulationResult.from_dict(tree)
+    assert rebuilt.to_dict() == tree
+    # A second hop catches asymmetries between the two directions.
+    assert SimulationResult.from_dict(rebuilt.to_dict()).to_dict() == tree
+
+
+#: (RunSpec factory kwargs, sha256 hex) captured pre-refactor; see the
+#: module docstring before editing.
+_PINNED_KEYS = [
+    (dict(scheme="berti+clip", mix=("605.mcf_s-1536B",) * 4,
+          channels=1, num_cores=4, sim_instructions=8000),
+     "be3124b833970d663aeaf20a1036b3801e2fdaf3a4ca3fe375d8f529b730e491"),
+    (dict(scheme="none", mix=("623.xalancbmk_s-10B", "tc-14"),
+          channels=1, num_cores=2, sim_instructions=2500),
+     "a9e984c54c3fb2f8d38037b9498a95e8b6b902c0e6bec892eb0392cd9dbcd1ff"),
+    (dict(scheme="spp_ppf+clip+fdp",
+          mix=("619.lbm_s-2676B", "605.mcf_s-1536B"),
+          channels=2, num_cores=2, sim_instructions=2500),
+     "e85ba0225525a2c0250e3bcf6289fc7654029928f0623be5fd951ef8be889547"),
+]
+
+
+def test_cache_schema_version_not_bumped():
+    """The perf refactor is behaviour-preserving, so cached results stay
+    valid; bumping the schema would throw away every existing cache."""
+    assert CACHE_SCHEMA_VERSION == 1
+
+
+@pytest.mark.parametrize("kwargs,expected",
+                         _PINNED_KEYS,
+                         ids=[k[0]["scheme"] for k in _PINNED_KEYS])
+def test_sweep_cache_keys_unchanged(kwargs, expected):
+    spec = RunSpec(scheme=Scheme.parse(kwargs["scheme"]),
+                   mix=kwargs["mix"], channels=kwargs["channels"],
+                   num_cores=kwargs["num_cores"],
+                   sim_instructions=kwargs["sim_instructions"])
+    assert spec.cache_key() == expected
