@@ -60,6 +60,24 @@ class Baseline:
     def entry_count(self) -> int:
         return sum(len(v) for v in self.suppressions.values())
 
+    def unused(self, violations: Iterable[Violation]) -> List[
+            "tuple[str, str]"]:
+        """Baseline entries no current violation matches (stale
+        fingerprints: the violation was fixed but the suppression
+        stayed behind).  Returns sorted ``(rule_id, fingerprint)``
+        pairs."""
+        used: Dict[str, Set[str]] = {}
+        for violation in violations:
+            used.setdefault(violation.rule_id, set()).add(
+                violation.fingerprint)
+        stale = [
+            (rule_id, fingerprint)
+            for rule_id, fingerprints in self.suppressions.items()
+            for fingerprint in fingerprints
+            if fingerprint not in used.get(rule_id, ())
+        ]
+        return sorted(stale)
+
     # ------------------------------------------------------------------
 
     @classmethod

@@ -1,0 +1,343 @@
+"""Project call graph for the whole-program lint passes.
+
+The per-file AST rules (SIM001-SIM008) judge each construct in
+isolation; the determinism passes (SIM009-SIM011) instead ask a
+*reachability* question: does this function's behaviour feed the
+simulation state the golden-equivalence matrix pins?  This module
+builds the call graph those passes walk.
+
+Construction is name-based and deliberately over-approximate:
+
+* a ``Name`` call (``helper()``) links to every function of that name
+  defined in the same module, plus the target of an explicit
+  ``from m import helper``;
+* an ``Attribute`` call (``obj.method()``) links to *every* method of
+  that name anywhere in the project (types are not tracked), plus the
+  top-level function when the base resolves to an imported module;
+* constructing an imported class links to its ``__init__``;
+* defining a nested function links the enclosing function to it (the
+  closure is almost always scheduled or returned to be called later).
+
+Over-approximation errs on the safe side for the determinism rules --
+a function is only exempt from them when *no* resolution reaches
+simulation state.
+
+A function *touches simulation state* directly when it
+
+* calls an attribute named ``schedule``/``replay``/``defer`` (the
+  :class:`~repro.sim.engine.Engine` and
+  :class:`~repro.sim.hierarchy.port.Port` surfaces),
+* constructs a ``*Stats``/``*Result`` class, or
+* stores through a ``stats``-named attribute base
+  (``self.stats.x = ...``, ``core.dram_stats.y += 1``).
+
+:meth:`CallGraph.reaches_sim_state` is the transitive closure of those
+roots over the call edges, memoised at build time.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: Scope qualname used for statements at module level.
+MODULE_SCOPE = "<module>"
+
+#: Attribute calls that hand work to the engine/port scheduling seam.
+_SCHEDULE_ATTRS = frozenset({"schedule", "replay", "defer"})
+
+#: Class names whose construction counts as touching result state.
+_RESULT_CLASS_RE = re.compile(r"(Stats|Result)$")
+
+#: Attribute bases that hold simulation statistics (mirrors the SIM005
+#: idiom): ``stats``, ``*_stats``, ``result``, ``*_result``.
+_STATS_BASE_RE = re.compile(r"(^stats$)|(_stats$)|(^result$)|(_result$)")
+
+
+@dataclass(frozen=True)
+class FunctionRef:
+    """Identity of one function in the project: file + dotted qualname."""
+
+    path: str
+    qualname: str
+
+    def __str__(self) -> str:
+        return f"{self.path}::{self.qualname}"
+
+
+@dataclass
+class _FunctionFacts:
+    """Per-function raw facts collected in one pass over its body."""
+
+    ref: FunctionRef
+    line: int
+    #: Bare-name call targets (``helper()``).
+    name_calls: Set[str] = field(default_factory=set)
+    #: Attribute call targets (``obj.method()`` -> ``method``), paired
+    #: with the terminal name of the base (``obj``) when it is simple.
+    attr_calls: Set[Tuple[str, str]] = field(default_factory=set)
+    #: Nested functions defined inside this one.
+    nested: Set[FunctionRef] = field(default_factory=set)
+    #: Directly touches simulation state (see module docstring).
+    touches_sim_state: bool = False
+
+
+def _terminal_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _module_dotted(path: str) -> str:
+    """``src/repro/sim/engine.py`` -> ``repro.sim.engine`` (best effort)."""
+    norm = path.replace("\\", "/")
+    if norm.endswith(".py"):
+        norm = norm[:-3]
+    if norm.endswith("/__init__"):
+        norm = norm[: -len("/__init__")]
+    parts = [p for p in norm.split("/") if p]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    return ".".join(parts)
+
+
+class _ModuleCollector:
+    """One walk of a module: functions, classes, imports, sink facts."""
+
+    def __init__(self, path: str, tree: ast.Module) -> None:
+        self.path = path
+        self.functions: Dict[str, _FunctionFacts] = {}
+        #: Class qualnames defined at any level of this module.
+        self.classes: Set[str] = set()
+        #: from-imports: local name -> (source module, original name).
+        self.from_imports: Dict[str, Tuple[str, str]] = {}
+        #: plain imports: local alias -> module dotted name.
+        self.module_imports: Dict[str, str] = {}
+        module_facts = self._new_function(MODULE_SCOPE, 1)
+        self._collect_imports(tree)
+        for stmt in tree.body:
+            self._visit(stmt, [], module_facts)
+
+    # -- plumbing ------------------------------------------------------
+
+    def _new_function(self, qualname: str, line: int) -> _FunctionFacts:
+        facts = _FunctionFacts(FunctionRef(self.path, qualname), line)
+        self.functions[qualname] = facts
+        return facts
+
+    def _collect_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.module_imports[local] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.from_imports[alias.asname or alias.name] = (
+                        node.module, alias.name)
+
+    # -- the walk ------------------------------------------------------
+
+    def _visit(self, node: ast.AST, qual: List[str],
+               facts: _FunctionFacts) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = ".".join(qual + [node.name])
+            inner = self._new_function(qualname, node.lineno)
+            facts.nested.add(inner.ref)
+            # Decorators and defaults evaluate in the enclosing scope.
+            for expr in (node.decorator_list
+                         + node.args.defaults
+                         + [d for d in node.args.kw_defaults
+                            if d is not None]):
+                self._scan_expr(expr, facts)
+            for stmt in node.body:
+                self._visit(stmt, qual + [node.name], inner)
+            return
+        if isinstance(node, ast.ClassDef):
+            self.classes.add(".".join(qual + [node.name]))
+            for expr in node.decorator_list + list(node.bases):
+                self._scan_expr(expr, facts)
+            # Class-level statements run in the enclosing scope; methods
+            # become their own functions under the class qualname.
+            for stmt in node.body:
+                self._visit(stmt, qual + [node.name], facts)
+            return
+        self._scan_stmt(node, facts)
+
+    def _scan_stmt(self, node: ast.AST, facts: _FunctionFacts) -> None:
+        """Record calls/sinks for one statement (no nested functions)."""
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and _STATS_BASE_RE.search(
+                            _terminal_name(target.value))):
+                    facts.touches_sim_state = True
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                self._visit(child, self._qual_of(facts), facts)
+            elif isinstance(child, ast.expr):
+                self._scan_expr(child, facts)
+            else:
+                self._scan_stmt(child, facts)
+
+    def _qual_of(self, facts: _FunctionFacts) -> List[str]:
+        qualname = facts.ref.qualname
+        return [] if qualname == MODULE_SCOPE else qualname.split(".")
+
+    def _scan_expr(self, node: ast.expr, facts: _FunctionFacts) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Lambda):
+                continue  # body scanned via walk anyway (expressions)
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            if isinstance(func, ast.Name):
+                facts.name_calls.add(func.id)
+                if _RESULT_CLASS_RE.search(func.id):
+                    facts.touches_sim_state = True
+            elif isinstance(func, ast.Attribute):
+                base = _terminal_name(func.value)
+                facts.attr_calls.add((func.attr, base))
+                if func.attr in _SCHEDULE_ATTRS:
+                    facts.touches_sim_state = True
+                if _RESULT_CLASS_RE.search(func.attr):
+                    facts.touches_sim_state = True
+
+
+class CallGraph:
+    """Name-resolved call edges plus sim-state reachability."""
+
+    def __init__(self, modules: Sequence[Tuple[str, ast.Module]]) -> None:
+        self._collectors: Dict[str, _ModuleCollector] = {}
+        for path, tree in modules:
+            self._collectors[path] = _ModuleCollector(path, tree)
+        #: dotted module name -> path, for from-import resolution.
+        self._by_dotted: Dict[str, str] = {
+            _module_dotted(path): path for path in self._collectors}
+        #: terminal function name -> refs, project-wide (methods and
+        #: module functions alike), for attribute-call resolution.
+        self._by_name: Dict[str, Set[FunctionRef]] = {}
+        for collector in self._collectors.values():
+            for qualname, facts in collector.functions.items():
+                name = qualname.rsplit(".", 1)[-1]
+                self._by_name.setdefault(name, set()).add(facts.ref)
+        self.edges: Dict[FunctionRef, Set[FunctionRef]] = {}
+        for collector in self._collectors.values():
+            for facts in collector.functions.values():
+                self.edges[facts.ref] = self._resolve_edges(collector,
+                                                            facts)
+        self._reaching = self._compute_reaching()
+
+    # -- construction --------------------------------------------------
+
+    def _functions_in(self, path: str,
+                      name: str) -> List[FunctionRef]:
+        collector = self._collectors.get(path)
+        if collector is None:
+            return []
+        return [facts.ref
+                for qualname, facts in collector.functions.items()
+                if qualname.rsplit(".", 1)[-1] == name]
+
+    def _resolve_edges(self, collector: _ModuleCollector,
+                       facts: _FunctionFacts) -> Set[FunctionRef]:
+        out: Set[FunctionRef] = set(facts.nested)
+        for name in facts.name_calls:
+            # Same-module definition (module-level or nested sibling).
+            out.update(self._functions_in(collector.path, name))
+            # Explicit from-import.
+            imported = collector.from_imports.get(name)
+            if imported is not None:
+                src_path = self._by_dotted.get(imported[0])
+                if src_path is not None:
+                    target = imported[1]
+                    out.update(self._functions_in(src_path, target))
+                    # Constructing an imported class calls __init__.
+                    src = self._collectors[src_path]
+                    if target in src.classes:
+                        out.update(self._functions_in(
+                            src_path, "__init__"))
+        for attr, base in facts.attr_calls:
+            # Imported module attribute: resolve precisely.
+            dotted = collector.module_imports.get(base)
+            if dotted is not None:
+                src_path = self._by_dotted.get(dotted)
+                if src_path is not None:
+                    out.update(self._functions_in(src_path, attr))
+                    continue
+            # Method call on an unknown object: every project function
+            # of that terminal name (type-blind over-approximation).
+            out.update(self._by_name.get(attr, ()))
+        out.discard(facts.ref)
+        return out
+
+    def _compute_reaching(self) -> Set[FunctionRef]:
+        reverse: Dict[FunctionRef, Set[FunctionRef]] = {}
+        roots: List[FunctionRef] = []
+        for collector in self._collectors.values():
+            for facts in collector.functions.values():
+                if facts.touches_sim_state:
+                    roots.append(facts.ref)
+        for src, dsts in self.edges.items():
+            for dst in dsts:
+                reverse.setdefault(dst, set()).add(src)
+        reaching: Set[FunctionRef] = set()
+        stack = list(roots)
+        while stack:
+            ref = stack.pop()
+            if ref in reaching:
+                continue
+            reaching.add(ref)
+            stack.extend(reverse.get(ref, ()))
+        return reaching
+
+    # -- queries -------------------------------------------------------
+
+    def functions(self) -> List[FunctionRef]:
+        return sorted(self.edges, key=str)
+
+    def callees_of(self, ref: FunctionRef) -> Set[FunctionRef]:
+        return self.edges.get(ref, set())
+
+    def touches_sim_state(self, ref: FunctionRef) -> bool:
+        collector = self._collectors.get(ref.path)
+        if collector is None:
+            return False
+        facts = collector.functions.get(ref.qualname)
+        return facts is not None and facts.touches_sim_state
+
+    def reaches_sim_state(self, ref: FunctionRef) -> bool:
+        """True when ``ref`` (or anything it may call, transitively)
+        schedules events, replays a port, or writes result/stats state.
+
+        Unknown functions answer True: a function the graph has never
+        seen gets the conservative treatment.
+        """
+        if ref in self.edges:
+            return ref in self._reaching
+        return True
+
+
+def build_callgraph(
+        modules: Sequence[Tuple[str, ast.Module]]) -> CallGraph:
+    """Build the project call graph over ``(path, parsed module)`` pairs."""
+    return CallGraph(modules)
+
+
+def function_ref(path: str, scope_parts: Sequence[str],
+                 name: Optional[str] = None) -> FunctionRef:
+    """Ref for the function ``name`` defined under ``scope_parts``
+    (the lint walker's scope stack), or the enclosing scope itself."""
+    parts = list(scope_parts)
+    if name is not None:
+        parts.append(name)
+    return FunctionRef(path, ".".join(parts) or MODULE_SCOPE)

@@ -1,0 +1,316 @@
+"""Forward dataflow / taint framework for the whole-program passes.
+
+A :class:`TaintSpec` names the *sources* that introduce a taint label
+(``set(...)``, ``os.listdir(...)``, ``time.time()``, ...), the calls
+that *sanitize* it (``sorted(...)``), and the calls that *propagate* it
+(``list(...)`` keeps a set's arbitrary order; ``len(...)`` does not).
+:class:`TaintAnalysis` then interprets one function body forward,
+tracking an abstract environment ``variable -> frozenset[label]`` and
+recording the label set of **every expression it evaluates**, keyed by
+node identity.  Rules query :meth:`TaintResult.of` on the nodes they
+care about (a ``for`` loop's iterable, ``sum()``'s argument, an
+assignment's value) and raise findings.
+
+Design points, chosen for lint-grade precision rather than soundness
+proofs:
+
+* branches are joined with set union; ``for``/``while`` bodies are
+  interpreted twice so loop-carried taint reaches a fixpoint for the
+  label lattices rules actually use (small, no infinite ascending
+  chains);
+* nested ``def``/``class`` bodies are *skipped* -- the lint walker
+  visits them separately, each with a fresh environment;
+* calls are untainted by default: only spec-listed propagators carry
+  taint through, so ``len(tainted)`` or ``min(tainted)`` (order-
+  insensitive reductions) do not smear labels over the function;
+* comprehensions inherit the labels of their iterables -- a list built
+  from a set (``[x for x in s]``) is itself nondeterministically
+  ordered -- except when the element expression is a constant, whose
+  accumulation cannot depend on order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+
+Labels = FrozenSet[str]
+EMPTY: Labels = frozenset()
+
+
+class TaintSpec:
+    """Sources, sanitizers, and propagation policy for one analysis."""
+
+    #: ``Name`` calls that preserve their first argument's taint
+    #: (they keep iteration order as-is).
+    propagate_functions: FrozenSet[str] = frozenset(
+        {"list", "tuple", "iter", "reversed", "enumerate"})
+    #: Method calls that preserve their base object's taint.
+    propagate_methods: FrozenSet[str] = frozenset(
+        {"copy", "union", "intersection", "difference",
+         "symmetric_difference"})
+    #: ``Name`` calls that erase taint by imposing an order.
+    sanitizer_functions: FrozenSet[str] = frozenset({"sorted"})
+
+    def source(self, node: ast.expr) -> Optional[str]:
+        """Label introduced by ``node`` itself, or ``None``."""
+        return None
+
+    def sanitizes(self, call: ast.Call) -> bool:
+        func = call.func
+        return (isinstance(func, ast.Name)
+                and func.id in self.sanitizer_functions)
+
+
+class TaintResult:
+    """Label sets recorded per evaluated expression node."""
+
+    def __init__(self) -> None:
+        self._labels: Dict[int, Labels] = {}
+
+    def record(self, node: ast.AST, labels: Labels) -> None:
+        if labels:
+            self._labels[id(node)] = labels
+
+    def of(self, node: ast.AST) -> Labels:
+        return self._labels.get(id(node), EMPTY)
+
+
+#: Statement types whose bodies are skipped (analysed separately).
+_SKIPPED_BODIES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+class TaintAnalysis:
+    """Forward abstract interpretation of one function body."""
+
+    def __init__(self, spec: TaintSpec) -> None:
+        self.spec = spec
+        self.result = TaintResult()
+
+    def run(self, body: Sequence[ast.stmt],
+            initial: Optional[Dict[str, Labels]] = None) -> TaintResult:
+        self.result = TaintResult()
+        env: Dict[str, Labels] = dict(initial or {})
+        self._exec_block(body, env)
+        return self.result
+
+    # -- statements ----------------------------------------------------
+
+    def _exec_block(self, body: Iterable[ast.stmt],
+                    env: Dict[str, Labels]) -> None:
+        for stmt in body:
+            self._exec(stmt, env)
+
+    @staticmethod
+    def _join(env: Dict[str, Labels],
+              other: Dict[str, Labels]) -> Dict[str, Labels]:
+        joined = dict(env)
+        for name, labels in other.items():
+            joined[name] = joined.get(name, EMPTY) | labels
+        return joined
+
+    def _exec(self, stmt: ast.stmt, env: Dict[str, Labels]) -> None:
+        if isinstance(stmt, _SKIPPED_BODIES):
+            for expr in stmt.decorator_list:
+                self._eval(expr, env)
+            return
+        if isinstance(stmt, ast.Assign):
+            labels = self._eval(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, labels, env)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self._eval(stmt.value, env), env)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            labels = self._eval(stmt.value, env)
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = (env.get(stmt.target.id, EMPTY)
+                                       | labels)
+            else:
+                self._bind(stmt.target, labels, env)
+            return
+        if isinstance(stmt, (ast.If,)):
+            self._eval(stmt.test, env)
+            then_env = dict(env)
+            self._exec_block(stmt.body, then_env)
+            else_env = dict(env)
+            self._exec_block(stmt.orelse, else_env)
+            env.clear()
+            env.update(self._join(then_env, else_env))
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_labels = self._eval(stmt.iter, env)
+            loop_env = dict(env)
+            self._bind(stmt.target, iter_labels, loop_env)
+            # Two passes: the second sees loop-carried taint.
+            self._exec_block(stmt.body, loop_env)
+            self._bind(stmt.target, iter_labels, loop_env)
+            self._exec_block(stmt.body, loop_env)
+            merged = self._join(env, loop_env)
+            self._exec_block(stmt.orelse, merged)
+            env.clear()
+            env.update(merged)
+            return
+        if isinstance(stmt, ast.While):
+            self._eval(stmt.test, env)
+            loop_env = dict(env)
+            self._exec_block(stmt.body, loop_env)
+            self._exec_block(stmt.body, loop_env)
+            merged = self._join(env, loop_env)
+            self._exec_block(stmt.orelse, merged)
+            env.clear()
+            env.update(merged)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                labels = self._eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, labels, env)
+            self._exec_block(stmt.body, env)
+            return
+        if isinstance(stmt, ast.Try):
+            body_env = dict(env)
+            self._exec_block(stmt.body, body_env)
+            joined = body_env
+            for handler in stmt.handlers:
+                handler_env = dict(env)
+                self._exec_block(handler.body, handler_env)
+                joined = self._join(joined, handler_env)
+            env.clear()
+            env.update(joined)
+            self._exec_block(stmt.orelse, env)
+            self._exec_block(stmt.finalbody, env)
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+                else:
+                    self._eval(target, env)
+            return
+        # Return / Expr / Raise / Assert / everything else: evaluate
+        # any expression children so their labels are recorded.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._eval(child, env)
+            elif isinstance(child, ast.stmt):
+                self._exec(child, env)
+
+    def _bind(self, target: ast.expr, labels: Labels,
+              env: Dict[str, Labels]) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = labels
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, labels, env)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, labels, env)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            # Evaluate the pieces so stores like ``d[id(x)] = v`` leave
+            # the key's labels queryable; the heap is not modelled.
+            for child in ast.iter_child_nodes(target):
+                if isinstance(child, ast.expr):
+                    self._eval(child, env)
+
+    # -- expressions ---------------------------------------------------
+
+    def _eval(self, node: ast.expr, env: Dict[str, Labels]) -> Labels:
+        labels = self._eval_inner(node, env)
+        self.result.record(node, labels)
+        return labels
+
+    def _eval_inner(self, node: ast.expr,
+                    env: Dict[str, Labels]) -> Labels:
+        spec = self.spec
+        source = spec.source(node)
+        if isinstance(node, ast.Name):
+            base = env.get(node.id, EMPTY)
+            return base | {source} if source else base
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                base_labels = self._eval(func.value, env)
+            else:
+                base_labels = EMPTY
+            arg_labels = EMPTY
+            for arg in node.args:
+                arg_labels |= self._eval(arg, env)
+            for keyword in node.keywords:
+                arg_labels |= self._eval(keyword.value, env)
+            if spec.sanitizes(node):
+                return EMPTY
+            if source is not None:
+                return frozenset({source})
+            if (isinstance(func, ast.Name)
+                    and func.id in spec.propagate_functions):
+                return arg_labels
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in spec.propagate_methods):
+                return base_labels | arg_labels
+            return EMPTY
+        if isinstance(node, ast.Attribute):
+            self._eval(node.value, env)
+            return frozenset({source}) if source else EMPTY
+        if isinstance(node, (ast.ListComp, ast.SetComp,
+                             ast.GeneratorExp, ast.DictComp)):
+            comp_labels = EMPTY
+            comp_env = dict(env)
+            for generator in node.generators:
+                gen_labels = self._eval(generator.iter, comp_env)
+                self._bind(generator.target, gen_labels, comp_env)
+                for cond in generator.ifs:
+                    self._eval(cond, comp_env)
+                comp_labels |= gen_labels
+            if isinstance(node, ast.DictComp):
+                self._eval(node.key, comp_env)
+                self._eval(node.value, comp_env)
+            else:
+                element = self._eval(node.elt, comp_env)
+                if source is None and isinstance(node.elt, ast.Constant):
+                    # Accumulating a constant per element cannot depend
+                    # on iteration order.
+                    return element
+            if source is not None:
+                # The comprehension is itself a source (a SetComp under
+                # the unordered-provenance spec) regardless of what it
+                # iterates.
+                return frozenset({source})
+            return comp_labels
+        if isinstance(node, ast.Lambda):
+            return EMPTY  # analysed when the lint walker reaches it
+        if isinstance(node, ast.Subscript):
+            self._eval(node.value, env)
+            self._eval(node.slice, env)
+            return EMPTY
+        if source is not None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._eval(child, env)
+            return frozenset({source})
+        # Generic expression: union over child expressions (BinOp,
+        # BoolOp, Compare, IfExp, Starred, f-strings, literals, ...).
+        labels = EMPTY
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                labels |= self._eval(child, env)
+        return labels
+
+
+def walk_excluding_nested(body: Sequence[ast.stmt]) -> List[ast.AST]:
+    """Every node under ``body`` except nested function/class bodies.
+
+    The lint walker dispatches nested scopes separately; rules pairing
+    a per-function :class:`TaintAnalysis` with a node scan use this to
+    stay aligned with what the analysis actually interpreted.
+    """
+    out: List[ast.AST] = []
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _SKIPPED_BODIES):
+            continue
+        out.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return out

@@ -23,9 +23,13 @@ from __future__ import annotations
 
 import ast
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import (TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Set, Tuple)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.analysis.callgraph import CallGraph
 
 _IGNORE_RE = re.compile(r"#\s*sim-lint:\s*ignore(?:\[([A-Z0-9, ]+)\])?")
 
@@ -54,6 +58,10 @@ class Violation:
                 f"{self.rule_id} {self.message}")
 
 
+#: Annotation substrings marking an attribute as set-typed.
+_SET_ANNOTATION_RE = re.compile(r"\b(Set|FrozenSet|set|frozenset)\b")
+
+
 class ProjectIndex:
     """Cross-file facts every rule may consult during the check pass."""
 
@@ -64,8 +72,26 @@ class ProjectIndex:
         self.stats_counters: Set[str] = set()
         #: Names of the stats-style classes themselves.
         self.stats_classes: Set[str] = set()
+        #: Attribute names with set provenance anywhere in the project
+        #: (assigned from a set literal/constructor/comprehension or
+        #: annotated ``Set[...]``): iterating them is unordered.
+        self.set_attributes: Set[str] = set()
+        #: Every collected module, for the whole-program passes.
+        self.modules: List[Tuple[str, ast.Module]] = []
+        #: Project call graph; built by :meth:`finalize` once every
+        #: module has been collected.  ``None`` until then -- rules
+        #: treat that conservatively.
+        self.callgraph: Optional["CallGraph"] = None
 
-    def collect(self, tree: ast.Module) -> None:
+    def finalize(self) -> None:
+        """Build the cross-file structures (call graph) over every
+        module :meth:`collect` has seen so far."""
+        from repro.analysis.callgraph import build_callgraph
+        self.callgraph = build_callgraph(self.modules)
+
+    def collect(self, tree: ast.Module, path: str = "<unknown>") -> None:
+        self.modules.append((path, tree))
+        self._collect_set_attributes(tree)
         for node in ast.walk(tree):
             if not isinstance(node, ast.ClassDef):
                 continue
@@ -88,6 +114,37 @@ class ProjectIndex:
                                                        ast.Name)
                                         and target.value.id == "self"):
                                     self.stats_counters.add(target.attr)
+
+    def _collect_set_attributes(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                if not _is_set_expr(node.value):
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute):
+                        self.set_attributes.add(target.attr)
+            elif isinstance(node, ast.AnnAssign):
+                annotated_set = _SET_ANNOTATION_RE.search(
+                    ast.unparse(node.annotation)) is not None
+                value_set = (node.value is not None
+                             and _is_set_expr(node.value))
+                if not (annotated_set or value_set):
+                    continue
+                if isinstance(node.target, ast.Attribute):
+                    self.set_attributes.add(node.target.attr)
+                elif (isinstance(node.target, ast.Name)
+                      and isinstance(node, ast.AnnAssign)):
+                    # Class-body field annotation (dataclass style).
+                    self.set_attributes.add(node.target.id)
+
+
+def _is_set_expr(value: ast.expr) -> bool:
+    """Does ``value`` evaluate to a (frozen)set?"""
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("set", "frozenset"))
 
 
 class LintContext:
@@ -254,7 +311,8 @@ def lint_tree(path: str, tree: ast.Module, source: str,
     """Run ``rules`` over one parsed module."""
     if project is None:
         project = ProjectIndex()
-        project.collect(tree)
+        project.collect(tree, path)
+        project.finalize()
     ctx = LintContext(path, tree, source, project)
     return _Walker(rules, ctx).run()
 

@@ -14,15 +14,15 @@ from __future__ import annotations
 
 import argparse
 import ast
-import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.framework import (ProjectIndex, iter_python_files,
                                       lint_tree)
-from repro.analysis.report import (LintReport, render_json,
-                                   render_rule_catalogue, render_text)
+from repro.analysis.report import (LintReport, render_github, render_json,
+                                   render_rule_catalogue, render_sarif,
+                                   render_text)
 from repro.analysis.rules import default_rules
 
 DEFAULT_BASELINE = "analysis-baseline.toml"
@@ -66,16 +66,21 @@ def run_lint(paths: Optional[Sequence[Path]] = None,
             tree = ast.parse(source, filename=str(path))
         except SyntaxError as exc:
             raise SystemExit(f"cannot parse {path}: {exc}") from exc
-        project.collect(tree)
-        parsed.append((path, tree, source))
-    for path, tree, source in parsed:
         display = _display_path(path, root)
+        project.collect(tree, display)
+        parsed.append((display, tree, source))
+    # Cross-file structures (call graph) need every module collected
+    # before any whole-program rule fires.
+    project.finalize()
+    for display, tree, source in parsed:
         for violation in lint_tree(display, tree, source, rules, project):
             if baseline.is_suppressed(violation):
                 report.suppressed.append(violation)
             else:
                 report.violations.append(violation)
     report.checked_files = len(parsed)
+    report.unused_suppressions = baseline.unused(
+        report.violations + report.suppressed)
     return report
 
 
@@ -86,8 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("paths", nargs="*", type=Path,
                         help="files/directories to lint "
                              "(default: src/repro)")
-    parser.add_argument("--format", choices=["text", "json"],
-                        default="text", help="output format")
+    parser.add_argument("--format",
+                        choices=["text", "json", "github", "sarif"],
+                        default="text",
+                        help="output format (github = GitHub Actions "
+                             "::error annotations, sarif = SARIF 2.1.0 "
+                             "JSON for code-scanning upload)")
     parser.add_argument("--baseline", type=Path,
                         default=Path(DEFAULT_BASELINE),
                         help=f"baseline suppression file "
@@ -98,6 +107,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--write-baseline", action="store_true",
                         help="write all current violations to the "
                              "baseline file and exit 0")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from the current "
+                             "findings: new violations are added, "
+                             "stale (unused) suppressions are dropped; "
+                             "running it twice yields an identical "
+                             "file")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     return parser
@@ -117,8 +132,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"wrote {len(report.violations)} suppression(s) to "
               f"{args.baseline}")
         return 0
+    if args.update_baseline:
+        refreshed = Baseline.from_violations(report.violations
+                                             + report.suppressed)
+        refreshed.dump(args.baseline)
+        print(f"updated {args.baseline}: {refreshed.entry_count} "
+              f"entr(ies) ({len(report.violations)} added, "
+              f"{len(report.unused_suppressions)} stale removed)")
+        return 0
     if args.format == "json":
         print(render_json(report))
+    elif args.format == "github":
+        print(render_github(report))
+    elif args.format == "sarif":
+        print(render_sarif(report))
     else:
         print(render_text(report))
     return 0 if report.ok else 1

@@ -1,10 +1,10 @@
-"""Text and JSON rendering of lint results."""
+"""Rendering of lint results: text, JSON, GitHub annotations, SARIF."""
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.analysis.framework import Violation
 from repro.analysis.rules import ALL_RULES
@@ -17,6 +17,11 @@ class LintReport:
     checked_files: int = 0
     violations: List[Violation] = field(default_factory=list)
     suppressed: List[Violation] = field(default_factory=list)
+    #: Baseline entries no current finding matches (stale
+    #: fingerprints), as ``(rule_id, fingerprint)`` pairs.  Reported
+    #: as warnings; they do not fail the gate.
+    unused_suppressions: List[Tuple[str, str]] = field(
+        default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -34,6 +39,11 @@ def render_text(report: LintReport) -> str:
     for violation in sorted(report.violations,
                             key=lambda v: (v.path, v.line, v.rule_id)):
         lines.append(violation.format())
+    for rule_id, fingerprint in report.unused_suppressions:
+        lines.append(
+            f"warning: unused suppression {rule_id} {fingerprint} "
+            f"(rule no longer fires here; delete the entry or run "
+            f"--update-baseline)")
     counts = report.counts_by_rule()
     if counts:
         summary = ", ".join(f"{rule}: {n}"
@@ -55,6 +65,10 @@ def render_json(report: LintReport) -> str:
         "ok": report.ok,
         "checked_files": report.checked_files,
         "suppressed": len(report.suppressed),
+        "unused_suppressions": [
+            {"rule": rule_id, "fingerprint": fingerprint}
+            for rule_id, fingerprint in report.unused_suppressions
+        ],
         "counts": report.counts_by_rule(),
         "violations": [
             {
@@ -69,6 +83,103 @@ def render_json(report: LintReport) -> str:
             for v in sorted(report.violations,
                             key=lambda v: (v.path, v.line, v.rule_id))
         ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_github(report: LintReport) -> str:
+    """GitHub Actions workflow-command annotations.
+
+    One ``::error`` line per violation (rendered inline on the PR
+    diff) and one ``::warning`` per stale baseline entry, followed by
+    the human summary as plain text.
+    """
+
+    def escape(text: str) -> str:
+        # Workflow-command data: %, CR and LF must be URL-style escaped.
+        return (text.replace("%", "%25").replace("\r", "%0D")
+                .replace("\n", "%0A"))
+
+    lines: List[str] = []
+    for v in sorted(report.violations,
+                    key=lambda v: (v.path, v.line, v.rule_id)):
+        lines.append(
+            f"::error file={v.path},line={v.line},col={v.column + 1},"
+            f"title={v.rule_id}::{escape(v.message)}")
+    for rule_id, fingerprint in report.unused_suppressions:
+        detail = escape(fingerprint + " no longer fires; delete the "
+                        "baseline entry or run --update-baseline")
+        lines.append(
+            f"::warning title={rule_id} unused suppression::{detail}")
+    lines.append(
+        f"{len(report.violations)} violation(s), "
+        f"{len(report.suppressed)} baseline-suppressed, "
+        f"{len(report.unused_suppressions)} unused suppression(s) in "
+        f"{report.checked_files} file(s)")
+    return "\n".join(lines)
+
+
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                 "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 for GitHub code-scanning / artifact upload.
+
+    Unsuppressed violations become ``error`` results; baseline-
+    suppressed ones are included with a ``suppressions`` entry so the
+    accepted backlog stays visible in scanning UIs.
+    """
+
+    def result(v: Violation, suppressed: bool) -> Dict:
+        entry: Dict = {
+            "ruleId": v.rule_id,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": v.path},
+                    "region": {"startLine": max(v.line, 1),
+                               "startColumn": v.column + 1},
+                },
+            }],
+            "partialFingerprints": {"simLint/v1": v.fingerprint},
+        }
+        if suppressed:
+            entry["suppressions"] = [{
+                "kind": "external",
+                "justification": "listed in analysis-baseline.toml",
+            }]
+        return entry
+
+    fired = {v.rule_id for v in report.violations}
+    fired.update(v.rule_id for v in report.suppressed)
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-sim-lint",
+                    "informationUri": ("https://example.invalid/repro/"
+                                       "docs/static_analysis.md"),
+                    "rules": [
+                        {
+                            "id": rule.id,
+                            "name": rule.name,
+                            "shortDescription": {"text": rule.summary},
+                        }
+                        for rule in ALL_RULES if rule.id in fired
+                    ],
+                },
+            },
+            "results": ([result(v, False) for v in sorted(
+                            report.violations,
+                            key=lambda v: (v.path, v.line, v.rule_id))]
+                        + [result(v, True) for v in sorted(
+                            report.suppressed,
+                            key=lambda v: (v.path, v.line, v.rule_id))]),
+        }],
     }
     return json.dumps(payload, indent=2)
 

@@ -18,6 +18,10 @@ SIM007    wall-clock               no wall-clock reads in simulation code
 SIM008    port-bypass              hierarchy components schedule via Port,
                                    not the engine
 ========  =======================  =============================================
+
+The whole-program passes SIM009-SIM013 (call-graph + dataflow based)
+live in :mod:`repro.analysis.wholeprogram` and are registered into the
+same catalogue below.
 """
 
 from __future__ import annotations
@@ -453,6 +457,11 @@ class PortBypassRule(Rule):
                 "stay in one place")
 
 
+from repro.analysis.wholeprogram import (  # noqa: E402
+    WHOLE_PROGRAM_RULES, CompilationReadinessRule,
+    EntropyInSimStateRule, NondeterministicIterationRule,
+    RngOutsideTraceRule, UnorderedReductionRule)
+
 #: The default rule set, in catalogue order.
 ALL_RULES: List[Rule] = [
     UnseededRandomRule(),
@@ -463,6 +472,17 @@ ALL_RULES: List[Rule] = [
     BareAssertRule(),
     WallClockRule(),
     PortBypassRule(),
+    *WHOLE_PROGRAM_RULES,
+]
+
+__all__ = [
+    "UnseededRandomRule", "FloatCycleArithmeticRule",
+    "MutableDefaultArgRule", "LoopVariableCaptureRule",
+    "UnregisteredCounterRule", "BareAssertRule", "WallClockRule",
+    "PortBypassRule", "NondeterministicIterationRule",
+    "RngOutsideTraceRule", "EntropyInSimStateRule",
+    "UnorderedReductionRule", "CompilationReadinessRule",
+    "ALL_RULES", "default_rules",
 ]
 
 

@@ -131,10 +131,13 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="run the simulator static-analysis passes")
     lint.add_argument("paths", nargs="*",
                       help="files/directories to lint (default: src/repro)")
-    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--format",
+                      choices=["text", "json", "github", "sarif"],
+                      default="text")
     lint.add_argument("--baseline", default="analysis-baseline.toml")
     lint.add_argument("--no-baseline", action="store_true")
     lint.add_argument("--write-baseline", action="store_true")
+    lint.add_argument("--update-baseline", action="store_true")
     lint.add_argument("--list-rules", action="store_true")
 
     characterize = sub.add_parser(
@@ -328,7 +331,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.analysis.lint import main as lint_main
         forwarded: List[str] = list(args.paths)
         forwarded += ["--format", args.format, "--baseline", args.baseline]
-        for flag in ("no_baseline", "write_baseline", "list_rules"):
+        for flag in ("no_baseline", "write_baseline", "update_baseline",
+                     "list_rules"):
             if getattr(args, flag):
                 forwarded.append("--" + flag.replace("_", "-"))
         return lint_main(forwarded)

@@ -12,9 +12,20 @@ locations.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.experiments.report import (format_table, print_figure,
                                       series_dict)
 from repro.experiments.statistics import arithmetic_mean, geometric_mean
 
 __all__ = ["geometric_mean", "arithmetic_mean", "format_table",
            "print_figure", "series_dict"]
+
+# stacklevel=2 points the warning at the importing module, not at this
+# shim; module-level emission fires once per interpreter (imports are
+# cached), so downstream code is not spammed per call.
+warnings.warn(
+    "repro.experiments.reporting is deprecated: import numeric helpers "
+    "from repro.experiments.statistics and table rendering from "
+    "repro.experiments.report",
+    DeprecationWarning, stacklevel=2)

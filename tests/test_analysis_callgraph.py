@@ -1,0 +1,200 @@
+"""Tests for the project call graph behind the whole-program passes.
+
+The graph is name-based and over-approximate by design; these tests pin
+the resolution rules (same-module names, from-imports, attribute calls,
+nested defs), the sim-state sink definitions, and the conservative
+answers for functions the graph has never seen.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import Dict
+
+from repro.analysis.callgraph import (MODULE_SCOPE, CallGraph, FunctionRef,
+                                      build_callgraph, function_ref)
+
+
+def build(modules: Dict[str, str]) -> CallGraph:
+    return build_callgraph(
+        [(path, ast.parse(textwrap.dedent(source)))
+         for path, source in modules.items()])
+
+
+def ref(path: str, qualname: str) -> FunctionRef:
+    return FunctionRef(path, qualname)
+
+
+class TestSinks:
+    def test_schedule_call_touches_sim_state(self):
+        graph = build({"src/repro/a.py": """
+            def dispatch(engine, thunk):
+                engine.schedule(5, thunk)
+            """})
+        assert graph.touches_sim_state(ref("src/repro/a.py", "dispatch"))
+
+    def test_port_replay_and_defer_touch_sim_state(self):
+        graph = build({"src/repro/a.py": """
+            def flush(port):
+                port.replay()
+
+            def push(port, req):
+                port.defer(req)
+            """})
+        assert graph.touches_sim_state(ref("src/repro/a.py", "flush"))
+        assert graph.touches_sim_state(ref("src/repro/a.py", "push"))
+
+    def test_result_construction_touches_sim_state(self):
+        graph = build({"src/repro/a.py": """
+            def summarise(ipc):
+                return SimulationResult(ipc=ipc)
+            """})
+        assert graph.touches_sim_state(ref("src/repro/a.py", "summarise"))
+
+    def test_stats_attribute_store_touches_sim_state(self):
+        graph = build({"src/repro/a.py": """
+            def bump(core):
+                core.dram_stats.row_hits += 1
+            """})
+        assert graph.touches_sim_state(ref("src/repro/a.py", "bump"))
+
+    def test_plain_helper_does_not_touch(self):
+        graph = build({"src/repro/a.py": """
+            def double(x):
+                return 2 * x
+            """})
+        assert not graph.touches_sim_state(ref("src/repro/a.py", "double"))
+        assert not graph.reaches_sim_state(ref("src/repro/a.py", "double"))
+
+
+class TestReachability:
+    def test_transitive_same_module(self):
+        graph = build({"src/repro/a.py": """
+            def outer(engine):
+                middle(engine)
+
+            def middle(engine):
+                inner(engine)
+
+            def inner(engine):
+                engine.schedule(1, None)
+
+            def bystander(x):
+                return x + 1
+            """})
+        path = "src/repro/a.py"
+        assert graph.reaches_sim_state(ref(path, "outer"))
+        assert graph.reaches_sim_state(ref(path, "middle"))
+        assert not graph.reaches_sim_state(ref(path, "bystander"))
+
+    def test_from_import_resolution_crosses_modules(self):
+        graph = build({
+            "src/repro/sinks.py": """
+                def record(stats):
+                    stats.result.total += 1
+                """,
+            "src/repro/caller.py": """
+                from repro.sinks import record
+
+                def run(stats):
+                    record(stats)
+
+                def idle():
+                    return 0
+                """,
+        })
+        assert graph.reaches_sim_state(
+            ref("src/repro/caller.py", "run"))
+        assert not graph.reaches_sim_state(
+            ref("src/repro/caller.py", "idle"))
+
+    def test_attribute_call_is_type_blind(self):
+        # obj.tick() links to every project method named tick.
+        graph = build({
+            "src/repro/core.py": """
+                class Core:
+                    def tick(self, engine):
+                        engine.schedule(1, None)
+                """,
+            "src/repro/driver.py": """
+                def step(anything):
+                    anything.tick(None)
+                """,
+        })
+        assert graph.reaches_sim_state(
+            ref("src/repro/driver.py", "step"))
+
+    def test_nested_function_edges_to_parent(self):
+        graph = build({"src/repro/a.py": """
+            def wire(engine):
+                def fire():
+                    engine.schedule(3, None)
+                return fire
+            """})
+        path = "src/repro/a.py"
+        assert graph.touches_sim_state(ref(path, "wire.fire"))
+        assert graph.reaches_sim_state(ref(path, "wire"))
+
+    def test_module_scope_is_a_function(self):
+        graph = build({"src/repro/a.py": """
+            import repro.engine
+
+            ENGINE = object()
+            ENGINE.schedule(0, None)
+            """})
+        assert graph.reaches_sim_state(
+            ref("src/repro/a.py", MODULE_SCOPE))
+
+    def test_unknown_function_answers_true(self):
+        graph = build({"src/repro/a.py": "def f():\n    return 1\n"})
+        assert graph.reaches_sim_state(
+            ref("src/repro/never_collected.py", "ghost"))
+
+    def test_imported_class_construction_reaches_its_init(self):
+        graph = build({
+            "src/repro/model.py": """
+                class Engine:
+                    def __init__(self):
+                        self.stats.events = 0
+                """,
+            "src/repro/boot.py": """
+                from repro.model import Engine
+
+                def boot():
+                    return Engine()
+                """,
+        })
+        assert graph.reaches_sim_state(ref("src/repro/boot.py", "boot"))
+
+
+class TestFunctionRefHelper:
+    def test_scope_parts_join(self):
+        assert function_ref("p.py", ["Cls", "meth"]) == FunctionRef(
+            "p.py", "Cls.meth")
+
+    def test_name_appended(self):
+        assert function_ref("p.py", ["Cls"], "meth") == FunctionRef(
+            "p.py", "Cls.meth")
+
+    def test_empty_scope_is_module(self):
+        assert function_ref("p.py", []).qualname == MODULE_SCOPE
+
+    def test_str_formats_path_and_qualname(self):
+        assert str(FunctionRef("p.py", "f")) == "p.py::f"
+
+
+class TestGraphQueries:
+    def test_functions_sorted_and_callees(self):
+        graph = build({"src/repro/a.py": """
+            def a():
+                b()
+
+            def b():
+                return 0
+            """})
+        path = "src/repro/a.py"
+        names = [r.qualname for r in graph.functions()]
+        assert names == sorted(names)
+        assert ref(path, "b") in graph.callees_of(ref(path, "a"))
+        assert graph.callees_of(ref(path, "b")) == set()

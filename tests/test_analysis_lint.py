@@ -12,8 +12,6 @@ import json
 import textwrap
 from pathlib import Path
 
-import pytest
-
 from repro.analysis.baseline import Baseline
 from repro.analysis.framework import ProjectIndex, lint_source
 from repro.analysis.lint import main as lint_main
@@ -606,7 +604,8 @@ class TestRepoGate:
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005",
-                        "SIM006", "SIM007", "SIM008"):
+                        "SIM006", "SIM007", "SIM008", "SIM009", "SIM010",
+                        "SIM011", "SIM012", "SIM013"):
             assert rule_id in out
 
     def test_cli_lint_subcommand(self, capsys):
@@ -621,3 +620,203 @@ class TestRepoGateCli:
         monkeypatch.chdir(REPO_ROOT)
         assert cli_main(["lint"]) == 0
         assert "clean" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Unused suppressions + --update-baseline
+# ----------------------------------------------------------------------
+
+class TestUnusedSuppressions:
+    def _stale_baseline(self, tmp_path):
+        # One live violation (bare assert in f) and one stale entry for
+        # a function that no longer violates anything.
+        target = tmp_path / "victim.py"
+        target.write_text("def f():\n    assert True\n")
+        baseline_path = tmp_path / "baseline.toml"
+        live = f"{target.as_posix()}::f"
+        Baseline({"SIM006": {live, f"{target.as_posix()}::gone"}}).dump(
+            baseline_path)
+        return target, baseline_path
+
+    def test_stale_fingerprint_reported(self, tmp_path):
+        target, baseline_path = self._stale_baseline(tmp_path)
+        report = run_lint([target],
+                          baseline=Baseline.load(baseline_path))
+        assert report.ok  # the live violation is suppressed
+        assert len(report.unused_suppressions) == 1
+        rule_id, fingerprint = report.unused_suppressions[0]
+        assert rule_id == "SIM006"
+        assert fingerprint.endswith("::gone")
+
+    def test_stale_fingerprint_warns_in_text_output(self, tmp_path,
+                                                    capsys):
+        target, baseline_path = self._stale_baseline(tmp_path)
+        assert lint_main([str(target), "--baseline",
+                          str(baseline_path)]) == 0
+        out = capsys.readouterr().out
+        assert "unused suppression" in out
+        assert "::gone" in out
+
+    def test_update_baseline_drops_stale_entries(self, tmp_path, capsys):
+        target, baseline_path = self._stale_baseline(tmp_path)
+        assert lint_main([str(target), "--baseline", str(baseline_path),
+                          "--update-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "1 stale removed" in out
+        refreshed = Baseline.load(baseline_path)
+        assert refreshed.entry_count == 1
+        fingerprints = refreshed.suppressions["SIM006"]
+        assert all(f.endswith("::f") for f in fingerprints)
+
+    def test_update_baseline_roundtrip_is_stable(self, tmp_path, capsys):
+        target, baseline_path = self._stale_baseline(tmp_path)
+        assert lint_main([str(target), "--baseline", str(baseline_path),
+                          "--update-baseline"]) == 0
+        first = baseline_path.read_text()
+        assert lint_main([str(target), "--baseline", str(baseline_path),
+                          "--update-baseline"]) == 0
+        assert baseline_path.read_text() == first
+        capsys.readouterr()
+
+    def test_update_baseline_keeps_new_violations(self, tmp_path, capsys):
+        # A violation not yet in the baseline gets added.
+        target = tmp_path / "victim.py"
+        target.write_text("def f(ac=[]):\n    assert ac\n")
+        baseline_path = tmp_path / "baseline.toml"
+        assert lint_main([str(target), "--baseline", str(baseline_path),
+                          "--update-baseline"]) == 0
+        capsys.readouterr()
+        assert lint_main([str(target), "--baseline",
+                          str(baseline_path)]) == 0
+
+
+# ----------------------------------------------------------------------
+# GitHub annotations + SARIF output
+# ----------------------------------------------------------------------
+
+class TestOutputFormats:
+    def _violating_file(self, tmp_path):
+        target = tmp_path / "victim.py"
+        target.write_text("def f(ac=[]):\n    assert ac\n")
+        return target
+
+    def test_github_annotations(self, tmp_path, capsys):
+        target = self._violating_file(tmp_path)
+        code = lint_main([str(target), "--format", "github",
+                          "--baseline", str(tmp_path / "none.toml")])
+        assert code == 1
+        out = capsys.readouterr().out
+        error_lines = [line for line in out.splitlines()
+                       if line.startswith("::error ")]
+        assert len(error_lines) == 2
+        assert any("title=SIM003" in line for line in error_lines)
+        assert any("title=SIM006" in line for line in error_lines)
+        first = error_lines[0]
+        assert f"file={target.as_posix()}" in first
+        assert "line=1" in first
+
+    def test_github_escapes_workflow_metacharacters(self):
+        from repro.analysis.framework import Violation
+        from repro.analysis.report import LintReport, render_github
+        report = LintReport(checked_files=1, violations=[Violation(
+            rule_id="SIM006", message="50% of\ncases", path="a.py",
+            line=3, column=0, scope="f")])
+        out = render_github(report)
+        assert "50%25 of%0Acases" in out
+
+    def test_github_warns_on_stale_suppression(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("X = 1\n")
+        baseline_path = tmp_path / "baseline.toml"
+        Baseline({"SIM006": {"clean.py::gone"}}).dump(baseline_path)
+        assert lint_main([str(target), "--format", "github",
+                          "--baseline", str(baseline_path)]) == 0
+        out = capsys.readouterr().out
+        assert "::warning " in out
+        assert "unused suppression" in out
+
+    def test_sarif_shape(self, tmp_path, capsys):
+        target = self._violating_file(tmp_path)
+        code = lint_main([str(target), "--format", "sarif",
+                          "--baseline", str(tmp_path / "none.toml")])
+        assert code == 1
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-sim-lint"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert rule_ids == {"SIM003", "SIM006"}
+        assert len(run["results"]) == 2
+        result = run["results"][0]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == target.as_posix()
+        assert location["region"]["startLine"] >= 1
+        assert "simLint/v1" in result["partialFingerprints"]
+        assert "suppressions" not in result
+
+    def test_sarif_marks_baselined_results_suppressed(self, tmp_path,
+                                                      capsys):
+        target = self._violating_file(tmp_path)
+        baseline_path = tmp_path / "baseline.toml"
+        assert lint_main([str(target), "--write-baseline",
+                          "--baseline", str(baseline_path)]) == 0
+        capsys.readouterr()
+        assert lint_main([str(target), "--format", "sarif",
+                          "--baseline", str(baseline_path)]) == 0
+        sarif = json.loads(capsys.readouterr().out)
+        results = sarif["runs"][0]["results"]
+        assert len(results) == 2
+        assert all(r["suppressions"][0]["kind"] == "external"
+                   for r in results)
+
+    def test_repo_sarif_is_well_formed(self):
+        # The exact artifact CI uploads parses and stays suppressed-only.
+        from repro.analysis.report import render_sarif
+        baseline = Baseline.load(REPO_ROOT / "analysis-baseline.toml")
+        report = run_lint([REPO_ROOT / "src" / "repro"], root=REPO_ROOT,
+                          baseline=baseline)
+        sarif = json.loads(render_sarif(report))
+        results = sarif["runs"][0]["results"]
+        assert all("suppressions" in r for r in results)
+
+
+# ----------------------------------------------------------------------
+# Rule-liveness self-test (the script CI runs)
+# ----------------------------------------------------------------------
+
+class TestSelftestScript:
+    def test_every_rule_fires_on_its_fixture(self):
+        import subprocess
+        import sys
+        proc = subprocess.run(
+            [sys.executable,
+             str(REPO_ROOT / "scripts" / "lint_selftest.py")],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "self-test OK: all 13 rules fired" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# Deprecation shim (repro.experiments.reporting)
+# ----------------------------------------------------------------------
+
+class TestReportingShimWarning:
+    def test_import_warns_exactly_once(self):
+        import importlib
+        import sys
+        import warnings as warnings_mod
+
+        sys.modules.pop("repro.experiments.reporting", None)
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            importlib.import_module("repro.experiments.reporting")
+        hits = [w for w in caught
+                if issubclass(w.category, DeprecationWarning)
+                and "reporting is deprecated" in str(w.message)]
+        assert len(hits) == 1
+        # Cached import: no second warning for later importers.
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            importlib.import_module("repro.experiments.reporting")
+        assert not any("reporting is deprecated" in str(w.message)
+                       for w in caught)
