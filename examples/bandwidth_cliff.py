@@ -8,7 +8,7 @@ HPC workload (bwaves-like) and an irregular one (mcf-like) across channel
 counts and prints the weighted-speedup curves of Fig. 1/19.
 """
 
-from repro import run_system, scaled_config, weighted_speedup
+from repro import api
 from repro.trace import homogeneous_mix
 
 CORES = 8
@@ -18,11 +18,11 @@ WORKLOADS = ["603.bwaves_s-1740B", "605.mcf_s-1536B"]
 
 
 def run(workload: str, channels: int, prefetcher: str, clip: bool):
-    config = scaled_config(num_cores=CORES, channels=channels,
+    config = api.scaled_config(num_cores=CORES, channels=channels,
                            sim_instructions=INSTRUCTIONS)
     config.l1_prefetcher.name = prefetcher
     config.clip.enabled = clip
-    return run_system(config, homogeneous_mix(workload, CORES))
+    return api.simulate(config, homogeneous_mix(workload, CORES))
 
 
 def main() -> None:
@@ -35,8 +35,8 @@ def main() -> None:
             berti = run(workload, channels, "berti", clip=False)
             clip = run(workload, channels, "berti", clip=True)
             print(f"{channels:>8} {CORES / channels:>8.1f} "
-                  f"{weighted_speedup(berti, baseline):>8.3f} "
-                  f"{weighted_speedup(clip, baseline):>11.3f} "
+                  f"{api.weighted_speedup(berti, baseline):>8.3f} "
+                  f"{api.weighted_speedup(clip, baseline):>11.3f} "
                   f"{baseline.dram.utilization:>10.2f}")
         print("-> Berti below 1.0 = prefetching is a net loss at that "
               "bandwidth; CLIP should stay at or above it.")

@@ -11,7 +11,7 @@ Fig. 13 contrast in miniature.
 
 import dataclasses
 
-from repro import scaled_config
+from repro.api import scaled_config
 from repro.sim.system import MulticoreSystem
 from repro.trace import homogeneous_mix
 

@@ -12,7 +12,7 @@ paper never saw: describe the access patterns, and let the simulator tell
 you whether criticality-filtered prefetching pays off.
 """
 
-from repro import run_system, scaled_config, weighted_speedup
+from repro import api
 from repro.trace.synthetic import StreamSpec, SyntheticWorkload, WorkloadSpec
 from repro.trace import workloads as registry
 
@@ -41,13 +41,13 @@ KV_STORE = WorkloadSpec(
 
 
 def run(prefetcher: str, clip: bool):
-    config = scaled_config(num_cores=CORES, channels=CHANNELS,
+    config = api.scaled_config(num_cores=CORES, channels=CHANNELS,
                            sim_instructions=INSTRUCTIONS)
     config.l1_prefetcher.name = prefetcher
     config.clip.enabled = clip
     # Register the custom spec so every core generates from it.
     registry._REGISTRY[KV_STORE.name] = KV_STORE
-    return run_system(config, [KV_STORE.name] * CORES)
+    return api.simulate(config, [KV_STORE.name] * CORES)
 
 
 def main() -> None:
@@ -62,9 +62,9 @@ def main() -> None:
 
     print(f"{'scheme':<16} {'weighted speedup':>16} {'DRAM reads':>11}")
     print(f"{'no prefetching':<16} {1.0:>16.3f} {baseline.dram.reads:>11}")
-    print(f"{'Berti':<16} {weighted_speedup(berti, baseline):>16.3f} "
+    print(f"{'Berti':<16} {api.weighted_speedup(berti, baseline):>16.3f} "
           f"{berti.dram.reads:>11}")
-    print(f"{'Berti + CLIP':<16} {weighted_speedup(clip, baseline):>16.3f} "
+    print(f"{'Berti + CLIP':<16} {api.weighted_speedup(clip, baseline):>16.3f} "
           f"{clip.dram.reads:>11}")
     print("\nInterpretation: if Berti < 1.0 here, your workload's traffic "
           "profile makes naive prefetching a liability on this part; CLIP "

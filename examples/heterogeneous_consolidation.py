@@ -13,7 +13,7 @@ cores whose IPC collapses under a neighbour's prefetch traffic are exactly
 the ones CLIP protects.
 """
 
-from repro import run_system, scaled_config, weighted_speedup
+from repro import api
 from repro.experiments.ascii_chart import bar_chart
 from repro.trace import heterogeneous_mixes
 
@@ -24,11 +24,11 @@ MIXES = 4
 
 
 def run(mix, prefetcher: str, clip: bool):
-    config = scaled_config(num_cores=CORES, channels=CHANNELS,
+    config = api.scaled_config(num_cores=CORES, channels=CHANNELS,
                            sim_instructions=INSTRUCTIONS)
     config.l1_prefetcher.name = prefetcher
     config.clip.enabled = clip
-    return run_system(config, mix)
+    return api.simulate(config, mix)
 
 
 def main() -> None:
@@ -41,8 +41,8 @@ def main() -> None:
         baseline = run(mix, "none", clip=False)
         berti = run(mix, "berti", clip=False)
         clip = run(mix, "berti", clip=True)
-        ws_berti = weighted_speedup(berti, baseline)
-        ws_clip = weighted_speedup(clip, baseline)
+        ws_berti = api.weighted_speedup(berti, baseline)
+        ws_clip = api.weighted_speedup(clip, baseline)
         rows[f"mix{index} berti"] = ws_berti
         rows[f"mix{index} +clip"] = ws_clip
         if worst is None or ws_berti < worst[1]:

@@ -13,7 +13,7 @@ and prints weighted speedups: Berti *hurts* under constrained bandwidth,
 CLIP recovers the loss by prefetching only critical-and-accurate loads.
 """
 
-from repro import run_system, scaled_config, weighted_speedup
+from repro import api
 from repro.trace import homogeneous_mix
 
 CORES = 8
@@ -23,7 +23,7 @@ WORKLOAD = "605.mcf_s-1536B"
 
 
 def make_config(prefetcher: str, clip: bool):
-    config = scaled_config(num_cores=CORES, channels=CHANNELS,
+    config = api.scaled_config(num_cores=CORES, channels=CHANNELS,
                            sim_instructions=INSTRUCTIONS)
     config.l1_prefetcher.name = prefetcher
     config.clip.enabled = clip
@@ -35,16 +35,16 @@ def main() -> None:
     print(f"workload: {WORKLOAD} x{CORES} cores, {CHANNELS} scaled DDR4 "
           f"channel(s)\n")
 
-    baseline = run_system(make_config("none", clip=False), mix,
+    baseline = api.simulate(make_config("none", clip=False), mix,
                           label="no-prefetch")
-    berti = run_system(make_config("berti", clip=False), mix, label="berti")
-    clip = run_system(make_config("berti", clip=True), mix,
+    berti = api.simulate(make_config("berti", clip=False), mix, label="berti")
+    clip = api.simulate(make_config("berti", clip=True), mix,
                       label="berti+clip")
 
     rows = [
         ("no prefetching", baseline, 1.0),
-        ("Berti", berti, weighted_speedup(berti, baseline)),
-        ("Berti + CLIP", clip, weighted_speedup(clip, baseline)),
+        ("Berti", berti, api.weighted_speedup(berti, baseline)),
+        ("Berti + CLIP", clip, api.weighted_speedup(clip, baseline)),
     ]
     print(f"{'scheme':<16} {'weighted speedup':>16} {'L1 miss lat':>12} "
           f"{'prefetches':>11} {'pf accuracy':>12}")

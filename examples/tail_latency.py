@@ -9,7 +9,7 @@ no-prefetch / Berti / Berti+CLIP and prints percentile tables and a
 histogram.
 """
 
-from repro import scaled_config
+from repro.api import scaled_config
 from repro.cpu.core_model import ServiceLevel
 from repro.sim.system import MulticoreSystem
 from repro.sim.tracing import format_latency_report

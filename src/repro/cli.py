@@ -99,6 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--cache", action="store_true",
                         help="persist/reuse results in the on-disk cache "
                              "(.repro-cache/)")
+    figure.add_argument("--backend", choices=["event", "batch"],
+                        default=None,
+                        help="simulation engine (bit-identical results; "
+                             "also: REPRO_BACKEND)")
 
     sweep = sub.add_parser(
         "sweep", help="run a (scheme x workload x channel) grid, "
@@ -123,6 +127,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="do not read or write the on-disk cache")
     sweep.add_argument("--csv", metavar="PATH", default=None,
                        help="also export the speedup series as CSV")
+    sweep.add_argument("--backend", choices=["event", "batch"],
+                       default=None,
+                       help="simulation engine (bit-identical results; "
+                            "also: REPRO_BACKEND)")
 
     sub.add_parser("workloads", help="list workload models")
     sub.add_parser("storage", help="print Table 2 (CLIP storage)")
@@ -153,11 +161,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the results payload to this file")
     bench.add_argument("--check", metavar="BASELINE",
                        help="compare against a baseline JSON "
-                            "(e.g. BENCH_PR5.json); exit 1 when the "
+                            "(e.g. BENCH_PR7.json); exit 1 when the "
                             "end-to-end point regresses past --tolerance")
     bench.add_argument("--tolerance", type=float, default=0.25,
                        help="allowed end-to-end slowdown vs the baseline "
                             "(default 0.25 = 25%%)")
+    bench.add_argument("--backend", choices=["event", "batch", "both"],
+                       default="both",
+                       help="which engine(s) to bench end-to-end "
+                            "(default: both)")
     return parser
 
 
@@ -236,7 +248,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     scale = dataclasses.replace(experiments.BenchScale(), **scale_fields)
     store = experiments.ResultStore() if args.cache else None
     runner = experiments.ExperimentRunner(scale, store=store,
-                                          jobs=args.jobs)
+                                          jobs=args.jobs,
+                                          backend=args.backend)
     FIGURES[args.name](runner)
     return 0
 
@@ -263,7 +276,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                           sim_instructions=args.instructions)
     sweep = sweep.with_baselines()
     store = None if args.no_cache else ResultStore(args.cache_dir)
-    outcome = run_sweep(sweep, jobs=args.jobs, store=store)
+    outcome = run_sweep(sweep, jobs=args.jobs, store=store,
+                        backend=args.backend)
 
     def speedup(scheme, mix, ch) -> float:
         spec = experiments.RunSpec(scheme=scheme, mix=tuple(mix),
@@ -297,7 +311,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.experiments import hotpath
 
-    payload = hotpath.run_suite(repeats=args.repeats)
+    backends = (("event", "batch") if args.backend == "both"
+                else (args.backend,))
+    payload = hotpath.run_suite(repeats=args.repeats, backends=backends)
     if args.output:
         hotpath.write_payload(payload, Path(args.output))
         print(f"wrote {args.output}")

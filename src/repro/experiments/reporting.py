@@ -1,31 +1,20 @@
-"""Deprecated shim: this module split into two homes.
+"""Removed module: ``repro.experiments.reporting`` split into two homes.
+
+The deprecation cycle (re-exports + ``DeprecationWarning``) ended with
+the public-API redesign; importing this module now fails loudly with
+directions instead of silently re-exporting:
 
 * numeric helpers  -> :mod:`repro.experiments.statistics`
   (``geometric_mean``, ``arithmetic_mean``)
 * table rendering  -> :mod:`repro.experiments.report`
   (``format_table``, ``print_figure``, ``series_dict``)
 
-Existing ``from repro.experiments.reporting import ...`` statements keep
-working through these re-exports; new code should import from the new
-locations.
+High-level entrypoints (running simulations and sweeps) live in
+:mod:`repro.api`; see ``docs/api.md`` for the migration guide.
 """
 
-from __future__ import annotations
-
-import warnings
-
-from repro.experiments.report import (format_table, print_figure,
-                                      series_dict)
-from repro.experiments.statistics import arithmetic_mean, geometric_mean
-
-__all__ = ["geometric_mean", "arithmetic_mean", "format_table",
-           "print_figure", "series_dict"]
-
-# stacklevel=2 points the warning at the importing module, not at this
-# shim; module-level emission fires once per interpreter (imports are
-# cached), so downstream code is not spammed per call.
-warnings.warn(
-    "repro.experiments.reporting is deprecated: import numeric helpers "
-    "from repro.experiments.statistics and table rendering from "
-    "repro.experiments.report",
-    DeprecationWarning, stacklevel=2)
+raise ImportError(
+    "repro.experiments.reporting was removed: import geometric_mean/"
+    "arithmetic_mean from repro.experiments.statistics and format_table/"
+    "print_figure/series_dict from repro.experiments.report (high-level "
+    "entrypoints live in repro.api; see docs/api.md)")

@@ -10,14 +10,13 @@ warm reruns of any figure are free.  Batched requests
 runner was constructed with ``jobs > 1``.
 
 The legacy calling convention (scheme *strings* plus ``**overrides``
-kwargs) still works everywhere but is deprecated; it round-trips through
-:class:`~repro.experiments.sweep.Scheme` and emits a
-``DeprecationWarning``.
+kwargs) was removed after its deprecation cycle: passing a string now
+raises ``TypeError`` pointing at :meth:`Scheme.parse` and the
+:mod:`repro.api` facade.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import (Dict, Iterable, List, Mapping, Optional, Sequence,
                     Tuple, Union)
@@ -86,10 +85,15 @@ class ExperimentRunner:
 
     def __init__(self, scale: Optional[BenchScale] = None,
                  store: Optional[ResultStore] = None,
-                 jobs: int = 1) -> None:
+                 jobs: int = 1, backend: Optional[str] = None) -> None:
         self.scale = scale or BenchScale()
         self.store = store
         self.jobs = jobs
+        #: Simulation backend fresh points run under ("event"/"batch";
+        #: ``None`` defers to config default + ``REPRO_BACKEND``).
+        #: Results are bit-identical either way, so memo/disk caches are
+        #: shared across backends.
+        self.backend = backend
         self._memo: Dict[RunSpec, SimulationResult] = {}
         #: Number of simulations actually executed (memo and disk-cache
         #: hits do not count).
@@ -101,19 +105,20 @@ class ExperimentRunner:
 
     def coerce_scheme(self, scheme: SchemeLike, overrides: Mapping,
                       ) -> Scheme:
-        """Accept a typed :class:`Scheme` or the deprecated string form."""
+        """Accept a typed :class:`Scheme`; reject the removed string form."""
         if isinstance(scheme, Scheme):
             if overrides:
                 raise TypeError(
                     "**overrides cannot be combined with a typed Scheme; "
                     "use dataclasses.replace on the scheme instead")
             return scheme
-        warnings.warn(
-            "string schemes and **overrides are deprecated; pass a "
-            "repro.experiments.sweep.Scheme "
-            f"(e.g. Scheme.parse({scheme!r}))",
-            DeprecationWarning, stacklevel=3)
-        return Scheme.from_legacy(scheme, overrides)
+        raise TypeError(
+            "string schemes and **overrides were removed (deprecated in "
+            "the sweep-API redesign): pass a typed "
+            "repro.experiments.sweep.Scheme -- e.g. "
+            f"Scheme.parse({scheme!r}) -- or use the repro.api facade, "
+            "whose simulate()/sweep() accept scheme names directly; see "
+            "docs/api.md")
 
     def spec(self, scheme: SchemeLike, mix: Sequence[str], channels: int,
              **overrides) -> RunSpec:
@@ -148,7 +153,7 @@ class ExperimentRunner:
         disk store and fans true misses across ``self.jobs`` processes.
         """
         outcome = run_sweep(sweep, jobs=self.jobs, store=self.store,
-                            known=self._memo)
+                            known=self._memo, backend=self.backend)
         self._memo.update(outcome.results)
         self.runs += outcome.simulated
         return outcome.results

@@ -33,11 +33,12 @@ import json
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from pathlib import Path
 from typing import (Callable, Dict, Iterable, Iterator, List, Mapping,
                     Optional, Sequence, Tuple, Union)
 
-from repro.config import SystemConfig, scaled_config
+from repro.config import SystemConfig, resolve_backend, scaled_config
 from repro.sim.stats import SimulationResult
 from repro.sim.system import run_system
 
@@ -277,10 +278,15 @@ class RunSpec:
         scheme's surface syntax), the workload mix, and
         :data:`CACHE_SCHEMA_VERSION`; two specs that simulate the same
         system on the same mix share one key however they were written.
+        The simulation backend is deliberately *excluded*: backends are
+        bit-identical on results, so a point cached under one backend is
+        valid under the other.
         """
+        config = dataclasses.asdict(self.config())
+        config.pop("backend", None)
         payload = {
             "schema": CACHE_SCHEMA_VERSION,
-            "config": dataclasses.asdict(self.config()),
+            "config": config,
             "mix": list(self.mix),
         }
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
@@ -384,8 +390,8 @@ class ResultStore:
         except (KeyError, TypeError):
             return None
 
-    def save(self, key: str, spec: RunSpec,
-             result: SimulationResult) -> None:
+    def save(self, key: str, spec: RunSpec, result: SimulationResult,
+             backend: Optional[str] = None) -> None:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -393,6 +399,10 @@ class ResultStore:
             "label": spec.scheme.label,
             "mix": list(spec.mix),
             "channels": spec.channels,
+            # Provenance only: backends are bit-identical, so the entry
+            # is valid whichever backend reads it (and the cache key
+            # ignores the field).
+            "backend": resolve_backend(backend or "event"),
             "result": result.to_dict(),
         }
         tmp = path.with_suffix(f".tmp{os.getpid()}")
@@ -409,15 +419,18 @@ class ResultStore:
 # Execution
 # ---------------------------------------------------------------------------
 
-def execute_spec(spec: RunSpec) -> Dict:
+def execute_spec(spec: RunSpec, backend: Optional[str] = None) -> Dict:
     """Simulate one point and return the result as a plain dict.
 
     Module-level (picklable) so ``ProcessPoolExecutor`` workers can run
     it; the dict form crosses the process boundary and round-trips back
-    through ``SimulationResult.from_dict`` in the parent.
+    through ``SimulationResult.from_dict`` in the parent.  ``backend``
+    selects the simulation engine; results are bit-identical either way.
     """
-    result = run_system(spec.config(), list(spec.mix),
-                        label=spec.scheme.label)
+    config = spec.config()
+    if backend is not None:
+        config.backend = backend
+    result = run_system(config, list(spec.mix), label=spec.scheme.label)
     return result.to_dict()
 
 
@@ -439,7 +452,8 @@ def run_sweep(sweep: Iterable[RunSpec], *, jobs: int = 1,
               store: Optional[ResultStore] = None,
               known: Optional[Mapping[RunSpec, SimulationResult]] = None,
               on_result: Optional[Callable[[RunSpec, SimulationResult],
-                                           None]] = None) -> SweepOutcome:
+                                           None]] = None,
+              backend: Optional[str] = None) -> SweepOutcome:
     """Execute every point of ``sweep``, in parallel when ``jobs > 1``.
 
     ``known`` points (e.g. an in-process memo) are returned as-is; the
@@ -449,6 +463,8 @@ def run_sweep(sweep: Iterable[RunSpec], *, jobs: int = 1,
     results through ``to_dict``/``from_dict``, so the executed results
     are identical regardless of ``jobs``.  Fresh results are written back
     to ``store`` and reported through ``on_result`` as they arrive.
+    ``backend`` picks the simulation engine ("event"/"batch"); cached
+    points are shared across backends because results are bit-identical.
     """
     specs = list(Sweep(sweep))
     outcome = SweepOutcome(results={})
@@ -471,17 +487,18 @@ def run_sweep(sweep: Iterable[RunSpec], *, jobs: int = 1,
         outcome.results[spec] = result
         outcome.simulated += 1
         if store is not None:
-            store.save(spec.cache_key(), spec, result)
+            store.save(spec.cache_key(), spec, result, backend=backend)
         if on_result is not None:
             on_result(spec, result)
 
     if jobs <= 1 or len(pending) <= 1:
         for spec in pending:
-            record(spec, SimulationResult.from_dict(execute_spec(spec)))
+            record(spec, SimulationResult.from_dict(
+                execute_spec(spec, backend)))
     else:
         workers = min(jobs, len(pending))
+        execute = partial(execute_spec, backend=backend)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            for spec, data in zip(pending,
-                                  pool.map(execute_spec, pending)):
+            for spec, data in zip(pending, pool.map(execute, pending)):
                 record(spec, SimulationResult.from_dict(data))
     return outcome

@@ -1,0 +1,28 @@
+"""Batch-stepped struct-of-arrays simulation backend.
+
+Selected with ``SystemConfig.backend = "batch"`` (or ``REPRO_BACKEND=batch``),
+this package replaces the hottest per-event Python dispatch of the pure
+event backend while reusing every hierarchy component (caches, MSHRs,
+filter chain, NoC, DRAM) for the slow/rare paths, so results are
+**bit-identical** to the event engine on ``SimulationResult.to_dict()``
+(pinned by ``tests/test_backend_equivalence.py`` over the full golden
+matrix).
+
+Three pieces:
+
+* :mod:`repro.sim.batch.soa`    -- per-trace struct-of-arrays precompute
+  (numpy columns, dependency wiring, branch-outcome replay), LRU-cached
+  so a sweep pays it once per workload, not once per scheme;
+* :mod:`repro.sim.batch.engine` -- :class:`BatchEngine`, a wake-scheduled
+  main loop that batches core steps per cycle bucket instead of scanning
+  every core every iteration (O(events), not O(cores x iterations));
+* :mod:`repro.sim.batch.core`   -- :class:`BatchCore`, the array-fed core
+  model that dispatches from the SoA columns and publishes wake updates
+  to the engine.
+"""
+
+from repro.sim.batch.core import BatchCore
+from repro.sim.batch.engine import BatchEngine
+from repro.sim.batch.soa import TraceSoA, trace_soa
+
+__all__ = ["BatchCore", "BatchEngine", "TraceSoA", "trace_soa"]

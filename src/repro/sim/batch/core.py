@@ -1,0 +1,214 @@
+"""Array-fed core model for the batch backend.
+
+:class:`BatchCore` keeps the event core's microarchitectural behaviour --
+same ROB, same retirement accounting, same hook protocol, same load path
+through the hierarchy -- and replaces only where dispatch *reads* from:
+
+* instruction fields come from :class:`repro.sim.batch.soa.TraceSoA`
+  column lists instead of per-record attribute loads;
+* the dependency-wiring probe (``reg_producer.get`` per source, per
+  instruction) is replaced by the precomputed wired-source tuples, which
+  by construction hit the producer map;
+* branch outcomes come from the replayed perceptron stream instead of a
+  live ``predict_and_train`` call per branch (the predictor's public
+  counters are still advanced live, so mid-run reads stay exact).
+
+It also publishes wake-time updates to :class:`BatchEngine` through the
+``_wake_push`` hook: whenever an event callback pulls ``next_wake``
+earlier, the new wake is pushed onto the engine's lazy heap.  Pushes are
+suppressed inside ``tick`` -- the engine files the post-tick wake itself,
+and ``_update_next_wake`` at tick end supersedes any mid-tick value.
+
+Dispatch ordering is copied from ``Core._dispatch`` statement for
+statement; every divergence is a read-source substitution proven
+timing-independent in :mod:`repro.sim.batch.soa`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config import CoreConfig
+from repro.cpu.branch import HashedPerceptronPredictor
+from repro.cpu.core_model import INFINITY, Core, RobEntry, ServiceLevel
+from repro.sim.batch.soa import TraceSoA
+from repro.trace.record import Op, TraceRecord
+
+_LOAD = int(Op.LOAD)
+_BRANCH = int(Op.BRANCH)
+_LEVEL_UNKNOWN = ServiceLevel.UNKNOWN
+
+
+def _no_wake_push(cycle: int) -> None:
+    """Default ``_wake_push``: inert, so a BatchCore also runs under the
+    plain event engine (whose scan needs no notifications)."""
+
+
+class BatchCore(Core):
+    """A :class:`Core` that dispatches from struct-of-arrays trace state."""
+
+    def __init__(self, core_id: int, config: CoreConfig,
+                 trace: Sequence[TraceRecord], soa: TraceSoA, memory, engine,
+                 branch_predictor: Optional[HashedPerceptronPredictor] = None,
+                 warmup_instructions: int = 0) -> None:
+        super().__init__(core_id, config, trace, memory, engine,
+                         branch_predictor=branch_predictor,
+                         warmup_instructions=warmup_instructions)
+        self.soa = soa
+        self._ips = soa.ips
+        self._ops = soa.ops
+        self._addresses = soa.addresses
+        self._dsts = soa.dsts
+        self._takens = soa.takens
+        self._wired_srcs = soa.wired_srcs
+        self._producers_meta = soa.producers_meta
+        self._branch_correct = soa.branch_correct
+        self._in_tick = False
+        self._wake_push = _no_wake_push
+
+    # ------------------------------------------------------------------
+    # Engine interface
+    # ------------------------------------------------------------------
+
+    def tick(self, cycle: int) -> None:
+        """Retire then dispatch; wake pushes are deferred to the engine."""
+        if self.done:
+            self.next_wake = INFINITY
+            return
+        self._in_tick = True
+        self._retire(cycle)
+        if not self.done:
+            self._dispatch(cycle)
+        self._update_next_wake(cycle)
+        self._in_tick = False
+
+    # ------------------------------------------------------------------
+    # Dispatch (array-fed copy of Core._dispatch)
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, cycle: int) -> None:
+        if self.fetch_stall_until > cycle:
+            return
+        dispatched = 0
+        config = self.config
+        issue_width = config.issue_width
+        rob_entries = config.rob_entries
+        trace_len = self._trace_len
+        rob = self.rob
+        reg_producer = self.reg_producer
+        dispatch_hooks = self.dispatch_hooks
+        branch_hooks = self.branch_hooks
+        predictor = self.branch_predictor
+        ips = self._ips
+        ops = self._ops
+        addresses = self._addresses
+        dsts = self._dsts
+        takens = self._takens
+        wired_srcs = self._wired_srcs
+        producers_meta = self._producers_meta
+        branch_correct = self._branch_correct
+        new_entry = RobEntry.__new__
+        pc = self.pc
+        seq = self.seq
+        next_cycle = cycle + 1
+        while (dispatched < issue_width
+               and len(rob) < rob_entries
+               and pc < trace_len):
+            index = pc
+            pc += 1
+            dispatched += 1
+            entry = new_entry(RobEntry)
+            entry.seq = seq
+            entry.ip = ips[index]
+            op = ops[index]
+            entry.op = op
+            entry.address = addresses[index]
+            dst = dsts[index]
+            entry.dst = dst
+            entry.taken = takens[index]
+            entry.deps = 0
+            entry.ready_at = cycle
+            entry.done_at = None
+            entry.dependents = None
+            entry.became_head_at = cycle if not rob else None
+            entry.service_level = _LEVEL_UNKNOWN
+            entry.issued_at = None
+            entry.dispatched_at = cycle
+            entry.mlp_at_issue = 0
+            entry.producers = producers_meta[index]
+            entry.is_mispredict = False
+            entry.consumer_count = 0
+            entry.history_snapshot = None
+            seq += 1
+            rob.append(entry)
+            srcs = wired_srcs[index]
+            if srcs:
+                # Every precomputed source has a producer in the map
+                # (trace order == dispatch order, entries never evicted).
+                for src in srcs:
+                    producer = reg_producer[src]
+                    producer.consumer_count += 1
+                    if producer.done_at is None:
+                        waiting = producer.dependents
+                        if waiting is None:
+                            producer.dependents = [entry]
+                        else:
+                            waiting.append(entry)
+                        entry.deps += 1
+                    elif producer.done_at > entry.ready_at:
+                        entry.ready_at = producer.done_at
+            if op == _LOAD:
+                for hook in dispatch_hooks:
+                    hook(self, entry, cycle)
+            if dst >= 0:
+                reg_producer[dst] = entry
+            stop_fetch = False
+            if op == _BRANCH:
+                predictor.predictions += 1
+                correct = branch_correct[index]
+                if not correct:
+                    predictor.mispredictions += 1
+                    self.stats.mispredicts += 1
+                    entry.is_mispredict = True
+                    stop_fetch = True
+                for hook in branch_hooks:
+                    hook(self, entry.ip, entry.taken, not correct, cycle)
+            if entry.deps == 0:
+                ready_at = entry.ready_at
+                self._begin_execution(
+                    entry, next_cycle if next_cycle > ready_at else ready_at)
+            if stop_fetch:
+                if entry.done_at is not None:
+                    self.fetch_stall_until = (entry.done_at
+                                              + config.mispredict_penalty)
+                else:
+                    self.fetch_stall_until = 1 << 62
+                break
+        self.pc = pc
+        self.seq = seq
+
+    # ------------------------------------------------------------------
+    # Completion (wake-publishing copy of Core._set_done)
+    # ------------------------------------------------------------------
+
+    def _set_done(self, entry: RobEntry, cycle: int) -> None:
+        entry.done_at = cycle
+        dependents = entry.dependents
+        if dependents is not None:
+            entry.dependents = None
+            for dependent in dependents:
+                dependent.ready_at = max(dependent.ready_at, cycle)
+                dependent.deps -= 1
+                if dependent.deps == 0:
+                    self._begin_execution(dependent, dependent.ready_at)
+        wake = self.next_wake
+        if entry.is_mispredict:
+            self.fetch_stall_until = cycle + self.config.mispredict_penalty
+            if self.fetch_stall_until < wake:
+                wake = self.fetch_stall_until
+        if cycle < wake and self.rob and self.rob[0] is entry:
+            wake = cycle
+        if wake < self.next_wake:
+            self.next_wake = wake
+            if not self._in_tick:
+                self._wake_push(int(wake))

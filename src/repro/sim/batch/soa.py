@@ -1,0 +1,157 @@
+"""Struct-of-arrays trace precompute for the batch backend.
+
+A :class:`TraceSoA` decomposes one core's instruction trace into parallel
+columns plus everything about the run that is a pure function of the
+trace itself -- independent of memory timing and therefore legal to hoist
+out of the simulation loop without changing a single result bit:
+
+* **columns** -- ``ip``/``op``/``address``/``dst``/``taken`` as numpy
+  arrays (the canonical store, also used for vectorised census) and as
+  plain lists (the interpreter-friendly view the dispatch loop indexes);
+* **dependency wiring** -- the producer of instruction *i*'s source
+  register is the last earlier instruction writing that register, a
+  property of trace order alone.  ``wired_srcs[i]`` keeps only the
+  sources that actually have a producer (the event path discovers the
+  same set with a dict probe per source, per instruction) and
+  ``producers_meta[i]`` is the exact ``(ip, op)`` tuple the event path
+  assembles per dispatch;
+* **branch outcomes** -- the hashed perceptron sees branches in program
+  order with trace-supplied outcomes, so its entire correct/incorrect
+  sequence (and final counter values) replays from the trace once, here,
+  instead of once per simulated branch per run.
+
+Precompute is cached in a small LRU keyed by trace identity and branch
+configuration: a sweep running one workload under many schemes pays it
+once.  The cache holds a strong reference to the trace, so the identity
+key cannot alias a recycled ``id()``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import BranchPredictorConfig
+from repro.cpu.branch import HashedPerceptronPredictor
+from repro.trace.record import TraceRecord
+
+_BRANCH = 2  # int(Op.BRANCH); module constant keeps the sweep loop flat
+
+
+class TraceSoA:
+    """Immutable struct-of-arrays view of one core's trace."""
+
+    __slots__ = ("length", "ip", "op", "address", "dst", "taken",
+                 "ips", "ops", "addresses", "dsts", "takens",
+                 "wired_srcs", "producers_meta", "branch_correct",
+                 "branch_count", "branch_mispredicts")
+
+    def __init__(self, records: Sequence[TraceRecord],
+                 branch: BranchPredictorConfig) -> None:
+        n = len(records)
+        self.length = n
+        # Canonical numpy columns (shared dtype idiom with repro.trace.io).
+        self.ip = np.fromiter((r.ip for r in records), dtype=np.int64,
+                              count=n)
+        self.op = np.fromiter((int(r.op) for r in records), dtype=np.uint8,
+                              count=n)
+        self.address = np.fromiter((r.address for r in records),
+                                   dtype=np.int64, count=n)
+        self.dst = np.fromiter((r.dst for r in records), dtype=np.int32,
+                               count=n)
+        self.taken = np.fromiter((r.taken for r in records),
+                                 dtype=np.bool_, count=n)
+        # List views: CPython indexes a list faster than a 0-d numpy
+        # scalar extraction, and the dispatch loop reads one element at a
+        # time.  ``tolist`` yields plain ints/bools, which compare and
+        # hash identically to the enum members the event path carries.
+        self.ips: List[int] = self.ip.tolist()
+        self.ops: List[int] = self.op.tolist()
+        self.addresses: List[int] = self.address.tolist()
+        self.dsts: List[int] = self.dst.tolist()
+        self.takens: List[bool] = self.taken.tolist()
+        self._wire(records)
+        self._replay_branches(branch)
+
+    # -- dependency wiring ---------------------------------------------
+
+    def _wire(self, records: Sequence[TraceRecord]) -> None:
+        """Precompute, per instruction, which sources have a producer.
+
+        Mirrors the event path exactly: a source is wired iff an earlier
+        instruction with ``dst >= 0`` wrote it (duplicates preserved, in
+        source order), and the metadata tuple collects the producer's
+        ``(ip, op)`` pair per wired source.
+        """
+        last_writer: Dict[int, int] = {}
+        wired: List[Tuple[int, ...]] = []
+        meta: List[Tuple[Tuple[int, int], ...]] = []
+        ips, ops = self.ips, self.ops
+        empty: Tuple[int, ...] = ()
+        empty_meta: Tuple[Tuple[int, int], ...] = ()
+        for index, record in enumerate(records):
+            srcs = record.srcs
+            if srcs:
+                kept = [src for src in srcs if src in last_writer]
+                if kept:
+                    wired.append(tuple(kept))
+                    meta.append(tuple((ips[last_writer[src]],
+                                       ops[last_writer[src]])
+                                      for src in kept))
+                else:
+                    wired.append(empty)
+                    meta.append(empty_meta)
+            else:
+                wired.append(empty)
+                meta.append(empty_meta)
+            dst = record.dst
+            if dst >= 0:
+                last_writer[dst] = index
+        self.wired_srcs = wired
+        self.producers_meta = meta
+
+    # -- branch-outcome replay -----------------------------------------
+
+    def _replay_branches(self, branch: BranchPredictorConfig) -> None:
+        """Replay the perceptron over the trace's branch stream.
+
+        The event path calls ``predict_and_train`` at dispatch, in
+        program order, with trace-supplied outcomes -- nothing about
+        memory timing feeds back into it, so the full correct/incorrect
+        sequence is a function of (trace, branch config) and replays
+        bit-identically here.
+        """
+        predictor = HashedPerceptronPredictor(branch)
+        predict_and_train = predictor.predict_and_train
+        correct: List[bool] = [True] * self.length
+        ips, takens = self.ips, self.takens
+        for index in np.flatnonzero(self.op == _BRANCH).tolist():
+            correct[index] = predict_and_train(ips[index], takens[index])
+        self.branch_correct = correct
+        self.branch_count = predictor.predictions
+        self.branch_mispredicts = predictor.mispredictions
+
+
+#: (trace identity, branch-config repr) -> (trace, TraceSoA).  The trace
+#: reference pins the id() key for the entry's lifetime; a bounded LRU
+#: matches the trace cache in ``repro.sim.system``.
+_SOA_CACHE: "OrderedDict[Tuple[int, str], Tuple[Sequence, TraceSoA]]" = \
+    OrderedDict()
+_SOA_CACHE_ENTRIES = 128
+
+
+def trace_soa(records: Sequence[TraceRecord],
+              branch: BranchPredictorConfig) -> TraceSoA:
+    """The (cached) struct-of-arrays precompute for ``records``."""
+    key = (id(records), repr(branch))
+    hit = _SOA_CACHE.get(key)
+    if hit is not None and hit[0] is records:
+        _SOA_CACHE.move_to_end(key)
+        return hit[1]
+    soa = TraceSoA(records, branch)
+    _SOA_CACHE[key] = (records, soa)
+    if len(_SOA_CACHE) > _SOA_CACHE_ENTRIES:
+        _SOA_CACHE.popitem(last=False)
+    return soa

@@ -12,6 +12,8 @@ import json
 import textwrap
 from pathlib import Path
 
+import pytest
+
 from repro.analysis.baseline import Baseline
 from repro.analysis.framework import ProjectIndex, lint_source
 from repro.analysis.lint import main as lint_main
@@ -797,26 +799,21 @@ class TestSelftestScript:
 
 
 # ----------------------------------------------------------------------
-# Deprecation shim (repro.experiments.reporting)
+# Retired module (repro.experiments.reporting)
 # ----------------------------------------------------------------------
 
-class TestReportingShimWarning:
-    def test_import_warns_exactly_once(self):
+class TestReportingModuleRemoved:
+    def test_import_raises_with_migration_directions(self):
         import importlib
         import sys
-        import warnings as warnings_mod
 
         sys.modules.pop("repro.experiments.reporting", None)
-        with warnings_mod.catch_warnings(record=True) as caught:
-            warnings_mod.simplefilter("always")
+        with pytest.raises(ImportError) as excinfo:
             importlib.import_module("repro.experiments.reporting")
-        hits = [w for w in caught
-                if issubclass(w.category, DeprecationWarning)
-                and "reporting is deprecated" in str(w.message)]
-        assert len(hits) == 1
-        # Cached import: no second warning for later importers.
-        with warnings_mod.catch_warnings(record=True) as caught:
-            warnings_mod.simplefilter("always")
-            importlib.import_module("repro.experiments.reporting")
-        assert not any("reporting is deprecated" in str(w.message)
-                       for w in caught)
+        message = str(excinfo.value)
+        # The error must name every new home so the fix is mechanical.
+        assert "repro.experiments.statistics" in message
+        assert "repro.experiments.report" in message
+        assert "repro.api" in message
+        # A failed import must not leave a broken half-module cached.
+        assert sys.modules.get("repro.experiments.reporting") is None

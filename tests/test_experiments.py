@@ -36,15 +36,19 @@ class TestReporting:
         assert len(lines) == 4
         assert all(len(line) == len(lines[0]) or True for line in lines)
 
-    def test_reporting_shim_reexports(self):
-        # The old module keeps working after the report/statistics split.
-        from repro.experiments.reporting import (arithmetic_mean,
-                                                 format_table as ft,
-                                                 geometric_mean as gm,
-                                                 print_figure, series_dict)
-        assert gm is geometric_mean and ft is format_table
-        assert callable(arithmetic_mean) and callable(print_figure)
-        assert series_dict(["a"], [1.0]) == {"a": 1.0}
+    def test_reporting_module_removed_with_directions(self):
+        # The PR 2 re-export shim finished its deprecation cycle: the
+        # import now fails with a message naming both new homes and the
+        # repro.api facade.
+        import importlib
+        import sys
+        sys.modules.pop("repro.experiments.reporting", None)
+        with pytest.raises(ImportError) as excinfo:
+            importlib.import_module("repro.experiments.reporting")
+        message = str(excinfo.value)
+        assert "repro.experiments.statistics" in message
+        assert "repro.experiments.report" in message
+        assert "repro.api" in message
 
 
 class TestRunner:
@@ -54,26 +58,24 @@ class TestRunner:
                                             channels=1)
             config.validate()
 
-    def test_unknown_scheme(self, tiny_runner):
-        with pytest.deprecated_call():
-            with pytest.raises(ValueError, match="unknown scheme"):
-                tiny_runner.config_for("oracle", channels=1)
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            Scheme.parse("oracle")
 
-    def test_unused_override_rejected(self, tiny_runner):
-        with pytest.deprecated_call():
-            with pytest.raises(ValueError, match="unused overrides"):
-                tiny_runner.config_for("berti", channels=1, typo_knob=3)
+    def test_string_scheme_raises_migration_error(self, tiny_runner):
+        # The legacy string/**overrides path was removed after its
+        # deprecation cycle; the error routes users to both migrations.
+        with pytest.raises(TypeError) as excinfo:
+            tiny_runner.config_for("berti", channels=1)
+        message = str(excinfo.value)
+        assert "Scheme.parse('berti')" in message
+        assert "repro.api" in message
+        assert "docs/api.md" in message
 
-    def test_legacy_string_path_deprecated_but_equivalent(self,
-                                                          tiny_runner):
-        with pytest.deprecated_call():
-            legacy = tiny_runner.config_for("berti", channels=1,
-                                            criticality="fvp",
-                                            crit_gate=False)
-        typed = tiny_runner.config_for(
-            Scheme.parse("berti", criticality="fvp", crit_gate=False),
-            channels=1)
-        assert legacy == typed
+    def test_string_scheme_with_overrides_raises(self, tiny_runner):
+        with pytest.raises(TypeError, match="removed"):
+            tiny_runner.config_for("berti", channels=1,
+                                   criticality="fvp", crit_gate=False)
 
     def test_caching(self, tiny_runner):
         scheme = Scheme.parse("none")
