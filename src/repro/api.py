@@ -18,6 +18,12 @@ and for sweeping scheme/workload/channel grids with on-disk caching:
 >>> sorted(r.config_label for r in swept)
 ['berti', 'berti+clip', 'none']
 
+Results carry the per-component counter layer
+(``SimulationResult.counters``, see ``docs/simulator.md``) and the
+counter-driven energy columns (``energy_mj``, ``edp_mj_s``,
+``energy_breakdown_mj``); :func:`power_budget` searches DVFS/core-mix
+operating points under a fixed package power budget.
+
 Everything else under ``repro.*`` is implementation: importable and
 stable within a release, but the facade is what README, ``examples/``
 and ``docs/api.md`` teach, and what deprecation policy covers.  The
@@ -35,15 +41,16 @@ from typing import (Callable, Dict, Iterable, Iterator, List, Mapping,
 
 from repro.config import (BACKENDS, SystemConfig, resolve_backend,
                           scaled_config)
+from repro.energy import dynamic_energy, package_power_w
 from repro.experiments.sweep import (ResultStore, RunSpec, Scheme, Sweep,
                                      run_sweep)
 from repro.sim.stats import SimulationResult, weighted_speedup
 from repro.sim.system import run_system
 
 __all__ = [
-    "simulate", "sweep", "SweepResult", "Scheme", "RunSpec",
-    "SystemConfig", "scaled_config", "SimulationResult",
-    "weighted_speedup", "BACKENDS",
+    "simulate", "sweep", "power_budget", "SweepResult", "Scheme",
+    "RunSpec", "SystemConfig", "scaled_config", "SimulationResult",
+    "weighted_speedup", "dynamic_energy", "package_power_w", "BACKENDS",
 ]
 
 #: A scheme argument: a typed :class:`Scheme` or a legacy-style name
@@ -182,3 +189,42 @@ def sweep(schemes: Union[SchemeLike, Iterable[SchemeLike]],
                        simulated=outcome.simulated,
                        cache_hits=outcome.cache_hits,
                        backend=resolve_backend(backend or "event"))
+
+
+def power_budget(budget_w: Optional[float] = None, *,
+                 num_cores: int = 8,
+                 sim_instructions: int = 10_000,
+                 sample: int = 3,
+                 jobs: int = 1,
+                 cache: Union[bool, str, ResultStore] = True,
+                 backend: Optional[str] = None,
+                 quiet: bool = True) -> Dict:
+    """Best Berti+CLIP operating point under a package power budget.
+
+    Sweeps DVFS frequency and core mix (symmetric vs big/little, see
+    :func:`repro.config.big_little_overrides`), scores each point by its
+    frequency-adjusted weighted speedup over the no-prefetching baseline
+    at the base clock, and reports the fastest point whose mean package
+    power (:func:`repro.energy.package_power_w`) fits under ``budget_w``.
+    Returns the grid plus the winner; ``quiet=False`` also prints the
+    figure.  Caching/backend semantics match :func:`sweep`.
+    """
+    from repro.experiments.power_budget import (DEFAULT_BUDGET_W,
+                                                power_budget_study)
+    from repro.experiments.runner import BenchScale, ExperimentRunner
+    if isinstance(cache, ResultStore):
+        store: Optional[ResultStore] = cache
+    elif cache is True:
+        store = ResultStore()
+    elif cache:
+        store = ResultStore(cache)
+    else:
+        store = None
+    runner = ExperimentRunner(
+        BenchScale(num_cores=num_cores,
+                   sim_instructions=sim_instructions),
+        store=store, jobs=jobs, backend=backend)
+    return power_budget_study(
+        runner,
+        budget_w=DEFAULT_BUDGET_W if budget_w is None else budget_w,
+        sample=sample, quiet=quiet)

@@ -37,6 +37,7 @@ FIGURES = {
     "fig19": experiments.figure19, "fig20": experiments.figure20,
     "fig21": experiments.figure21,
     "energy": experiments.energy_study,
+    "power": experiments.power_budget_study,
     "llc": experiments.llc_sensitivity,
     "cores": experiments.core_count_sensitivity,
     "ablation": experiments.ablation_study,
@@ -251,6 +252,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
                                           jobs=args.jobs,
                                           backend=args.backend)
     FIGURES[args.name](runner)
+    # Cache accounting in the same shape `repro sweep` prints, so CI can
+    # assert a warm rerun simulated nothing.
+    print(f"simulated {runner.runs} point(s)")
     return 0
 
 

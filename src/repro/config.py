@@ -59,6 +59,31 @@ class CoreConfig:
     alu_latency: int = 1
 
 
+def little_core(frequency_ghz: float = 4.0) -> CoreConfig:
+    """An efficiency ("little") core: half-width issue, quarter ROB.
+
+    The big/little mixes pair Table 3's reference core with these for
+    the heterogeneous-system axis (does criticality-filtered prefetching
+    help more when cores are asymmetric?).
+    """
+    return CoreConfig(frequency_ghz=frequency_ghz, issue_width=3,
+                      retire_width=2, rob_entries=128,
+                      load_queue_entries=64, store_queue_entries=36)
+
+
+def big_little_overrides(num_cores: int, big_cores: int,
+                         little: CoreConfig | None = None,
+                         ) -> "dict[int, CoreConfig]":
+    """Per-core override map: the first ``big_cores`` keep the base
+    (big) core, the rest become ``little`` cores."""
+    if not 0 <= big_cores <= num_cores:
+        raise ValueError(
+            f"big_cores must be within [0, {num_cores}], got {big_cores}")
+    little = little or little_core()
+    return {core_id: dataclasses.replace(little)
+            for core_id in range(big_cores, num_cores)}
+
+
 @dataclass
 class BranchPredictorConfig:
     """Hashed perceptron branch predictor (Table 3 cites Jimenez & Lin)."""
@@ -289,6 +314,10 @@ class SystemConfig:
 
     num_cores: int = 64
     core: CoreConfig = field(default_factory=CoreConfig)
+    #: Per-core deviations from :attr:`core` (big/little mixes): maps a
+    #: core id to the full :class:`CoreConfig` that core runs with.
+    #: Cores absent from the map use :attr:`core` unchanged.
+    core_overrides: dict[int, CoreConfig] = field(default_factory=dict)
     branch: BranchPredictorConfig = field(default_factory=BranchPredictorConfig)
     tlb: TlbConfig = field(default_factory=TlbConfig)
     l1i: CacheConfig = field(default_factory=_default_l1i)
@@ -329,6 +358,11 @@ class SystemConfig:
             root += 1
         return root
 
+    def core_for(self, core_id: int) -> CoreConfig:
+        """The :class:`CoreConfig` a given core runs with (override or
+        the shared base)."""
+        return self.core_overrides.get(core_id, self.core)
+
     def validate(self) -> None:
         if self.num_cores < 1:
             raise ValueError("num_cores must be positive")
@@ -336,6 +370,21 @@ class SystemConfig:
             raise ValueError("at least one DRAM channel is required")
         if self.core.retire_width > self.core.issue_width:
             raise ValueError("retire width wider than issue width")
+        for core_id, override in self.core_overrides.items():
+            if not 0 <= core_id < self.num_cores:
+                raise ValueError(
+                    f"core override for core {core_id} outside "
+                    f"[0, {self.num_cores})")
+            if override.retire_width > override.issue_width:
+                raise ValueError(
+                    f"core {core_id}: retire width wider than issue width")
+            if override.frequency_ghz != self.core.frequency_ghz:
+                # Uncore latencies are expressed in core cycles, so the
+                # model supports one clock domain for all cores.
+                raise ValueError(
+                    f"core {core_id}: per-core frequencies must match the "
+                    f"base core ({override.frequency_ghz} != "
+                    f"{self.core.frequency_ghz})")
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"unknown simulation backend {self.backend!r}: expected "
@@ -344,6 +393,43 @@ class SystemConfig:
     def replace(self, **changes: object) -> "SystemConfig":
         """Return a shallow-copied config with top-level fields replaced."""
         return dataclasses.replace(self, **changes)
+
+    def at_frequency(self, frequency_ghz: float) -> "SystemConfig":
+        """A copy of this config DVFS-scaled to ``frequency_ghz``.
+
+        All uncore latencies (DRAM timing, NoC router/link) are stored in
+        *core* cycles, so re-clocking the cores rescales them by the
+        frequency ratio: a fixed-nanosecond DRAM CAS costs fewer core
+        cycles when the cores run slower.  Latencies never drop below
+        one cycle.
+        """
+        if frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        ratio = frequency_ghz / self.core.frequency_ghz
+
+        def cycles(value: int) -> int:
+            return max(1, round(value * ratio))
+
+        clone = dataclasses.replace(
+            self,
+            core=dataclasses.replace(self.core,
+                                     frequency_ghz=frequency_ghz),
+            core_overrides={
+                core_id: dataclasses.replace(override,
+                                             frequency_ghz=frequency_ghz)
+                for core_id, override in self.core_overrides.items()},
+            dram=dataclasses.replace(
+                self.dram,
+                trp_cycles=cycles(self.dram.trp_cycles),
+                trcd_cycles=cycles(self.dram.trcd_cycles),
+                cas_cycles=cycles(self.dram.cas_cycles),
+                burst_cycles=cycles(self.dram.burst_cycles)),
+            noc=dataclasses.replace(
+                self.noc,
+                router_latency=cycles(self.noc.router_latency),
+                link_latency=cycles(self.noc.link_latency)),
+        )
+        return clone
 
 
 def scaled_config(num_cores: int = 16,

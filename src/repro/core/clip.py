@@ -46,6 +46,12 @@ class ClipStats:
         self.covered_critical = 0
         self.windows = 0
         self.phase_changes = 0
+        # Structure activity (energy-model inputs): every lookup/update
+        # of the criticality filter, the critical-signature predictor,
+        # and the utility-buffer CAM.
+        self.filter_accesses = 0
+        self.predictor_accesses = 0
+        self.utility_cam_accesses = 0
 
     @property
     def prediction_accuracy(self) -> float:
@@ -174,10 +180,12 @@ class Clip:
                 self.ip_census[entry.ip] = census
             census[0 if critical else 1] += 1
         # --- training ----------------------------------------------------
+        self.stats.predictor_accesses += 1
         self.predictor.train(signature, critical)
         # Filter insertion follows the paper's hardware flow: the global
         # ROB-stall flag checked on a beyond-L1 response (section 4.1).
         if beyond_l1 and (critical or rob_stalled):
+            self.stats.filter_accesses += 1
             self.filter.record_critical(key)
         self.criticality_history.push(critical)
         self._sig_cache.clear()
@@ -190,9 +198,11 @@ class Clip:
         return ip
 
     def _predict_critical(self, ip: int, signature: int) -> bool:
+        self.stats.filter_accesses += 1
         entry = self.filter.get(ip)
         if entry is None or entry.crit_count < self.filter.effective_threshold:
             return False
+        self.stats.predictor_accesses += 1
         prediction = self.predictor.predict(signature)
         return bool(prediction)
 
@@ -203,8 +213,10 @@ class Clip:
     def on_l1d_access(self, line: int, cycle: int) -> None:
         """Every demand L1D access: APC count + utility CAM check."""
         self.phase_detector.note_access()
+        self.stats.utility_cam_accesses += 1
         trigger_ip = self.utility_buffer.match(line)
         if trigger_ip is not None:
+            self.stats.filter_accesses += 1
             self.filter.note_hit(trigger_ip)
 
     def on_l1d_miss(self, cycle: int) -> None:
@@ -260,6 +272,7 @@ class Clip:
         key = (address >> 12 if self._index_by_page else trigger_ip)
         filt = self.filter
         if config.use_criticality_filter:
+            stats.filter_accesses += 1
             entry = filt.get(key)
             if entry is None or entry.crit_count < filt.effective_threshold:
                 stats.dropped_not_critical += 1
@@ -280,11 +293,13 @@ class Clip:
                     self._sig_use_address, self._sig_use_branch,
                     self._sig_use_crit)
                 self._sig_cache[sig_key] = signature
+            stats.predictor_accesses += 1
             prediction = self.predictor.predict(signature)
             if not prediction:
                 stats.dropped_predictor += 1
                 return False, False
         elif config.use_accuracy_filter:
+            stats.filter_accesses += 1
             entry = filt.get(key)
             if entry is not None and not (
                     entry.is_crit_accurate
@@ -299,7 +314,9 @@ class Clip:
     def on_prefetch_issued(self, line: int, trigger_ip: int) -> None:
         """An allowed prefetch left for the hierarchy (Fig. 8 step 3)."""
         key = self._key(trigger_ip, line << _LINE_SHIFT)
+        self.stats.utility_cam_accesses += 1
         self.utility_buffer.insert(line, key)
+        self.stats.filter_accesses += 1
         self.filter.note_issue(key)
 
     # ------------------------------------------------------------------

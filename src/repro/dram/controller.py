@@ -57,7 +57,7 @@ class _Bank:
 class DramChannelStats:
     """Per-channel accounting."""
 
-    def __init__(self) -> None:
+    def __init__(self, banks: int = 0) -> None:
         self.reads = 0
         self.writes = 0
         self.row_hits = 0
@@ -65,6 +65,10 @@ class DramChannelStats:
         self.busy_cycles = 0
         self.total_read_latency = 0
         self.prefetch_reads = 0
+        #: ACT commands per bank (a row miss opens a row exactly once,
+        #: so the list sums to ``row_misses``) -- the per-bank activate
+        #: counts the DRAM power model consumes.
+        self.bank_activates = [0] * banks
 
     @property
     def average_read_latency(self) -> float:
@@ -104,7 +108,7 @@ class DramChannel:
         self.write_queue: List[DramRequest] = []
         self.bus_busy_until = 0
         self.in_flight = 0
-        self.stats = DramChannelStats()
+        self.stats = DramChannelStats(banks=config.banks_per_channel)
         self._draining_writes = False
         self._writes_left_in_batch = config.write_drain_batch
         #: Write-drain trigger depth, fixed at construction (recomputing
@@ -222,12 +226,14 @@ class DramChannel:
             array_latency = config.trcd_cycles + config.cas_cycles
             bank_busy = config.trcd_cycles + config.burst_cycles
             self.stats.row_misses += 1
+            self.stats.bank_activates[request.bank] += 1
         else:
             array_latency = (config.trp_cycles + config.trcd_cycles
                              + config.cas_cycles)
             bank_busy = (config.trp_cycles + config.trcd_cycles
                          + config.burst_cycles)
             self.stats.row_misses += 1
+            self.stats.bank_activates[request.bank] += 1
         data_ready = start + array_latency
         bus_start = max(data_ready, self.bus_busy_until)
         done = bus_start + config.burst_cycles

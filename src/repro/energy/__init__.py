@@ -1,5 +1,13 @@
-"""Dynamic energy model (paper section 5, "Energy model")."""
+"""Dynamic energy model (paper section 5, "Energy model") and the
+package power model behind the power-budget sweep driver."""
 
-from repro.energy.model import EnergyBreakdown, dynamic_energy
+from repro.energy.model import ENERGY_PJ, EnergyBreakdown, dynamic_energy
+from repro.energy.power import (BASE_CORE_POWER_W, BASE_FREQUENCY_GHZ,
+                                core_power_w, cores_power_w,
+                                execution_seconds, package_power_w,
+                                uncore_static_w)
 
-__all__ = ["EnergyBreakdown", "dynamic_energy"]
+__all__ = ["ENERGY_PJ", "EnergyBreakdown", "dynamic_energy",
+           "BASE_CORE_POWER_W", "BASE_FREQUENCY_GHZ", "core_power_w",
+           "cores_power_w", "execution_seconds", "package_power_w",
+           "uncore_static_w"]

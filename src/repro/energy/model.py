@@ -6,12 +6,21 @@ per-structure access counts.  We embed CACTI-class per-access energies
 *relative* energy matters for the paper's claims) and aggregate them with
 the simulation's access counts.  CLIP's own structures are charged too, as
 the paper notes its energy accounting includes them.
+
+Since the per-component counter layer (``repro.sim.counters``) landed,
+the model is *counter-driven*: exact flit-hop counts (real XY route
+lengths), per-channel activates, and CLIP filter/predictor/utility-CAM
+accesses come straight off ``SimulationResult.counters``.  Results that
+predate the counter layer (hand-built results in tests, old cache
+entries) fall back to the previous level-stats approximation, including
+its ``mean hops = 3.0`` NoC estimate.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.sim.stats import SimulationResult
 
@@ -30,6 +39,9 @@ ENERGY_PJ = {
     "clip_utility_cam": 1.5,
 }
 
+#: NoC hop estimate used only by the legacy (counter-less) fallback.
+LEGACY_MEAN_HOPS = 3.0
+
 
 @dataclass
 class EnergyBreakdown:
@@ -43,13 +55,73 @@ class EnergyBreakdown:
 
 
 def dynamic_energy(result: SimulationResult,
-                   clip_events: int = 0) -> EnergyBreakdown:
+                   clip_events: Optional[int] = None) -> EnergyBreakdown:
     """Aggregate dynamic energy from a simulation result.
 
-    ``clip_events`` approximates CLIP-structure activity (filter/predictor
-    lookups); callers may pass the number of L1D accesses when CLIP ran.
+    Counter-driven when ``result.counters`` is populated (every fresh
+    simulation); otherwise the legacy level-stats approximation.
+
+    ``clip_events`` is deprecated and ignored: CLIP structure activity
+    is derived from the simulation's own filter/predictor/utility-CAM
+    access counters instead of a caller-supplied guess.
     """
+    if clip_events is not None:
+        warnings.warn(
+            "dynamic_energy(clip_events=...) is deprecated and ignored: "
+            "CLIP structure activity now comes from "
+            "SimulationResult.counters (the per-component counter layer)",
+            DeprecationWarning, stacklevel=2)
+    if result.counters:
+        picojoules = _counter_picojoules(result.counters)
+    else:
+        picojoules = _legacy_picojoules(result)
     breakdown = EnergyBreakdown()
+    breakdown.components_mj = {
+        name: pj / 1e9 for name, pj in picojoules.items()
+    }
+    return breakdown
+
+
+def _counter_picojoules(
+        counters: Dict[str, Dict[str, int]]) -> Dict[str, float]:
+    """Exact per-component energy from the counter snapshot."""
+    pj: Dict[str, float] = {}
+
+    def charge(component: str, picojoules: float) -> None:
+        pj[component] = pj.get(component, 0.0) + picojoules
+
+    for group, values in counters.items():
+        if group.endswith(".l1d"):
+            accesses = values["demand_accesses"] + values["prefetch_fills"]
+            charge("L1D", accesses * ENERGY_PJ["l1d_access"])
+        elif group.endswith(".l2"):
+            accesses = values["demand_accesses"] + values["prefetch_fills"]
+            charge("L2", accesses * ENERGY_PJ["l2_access"])
+        elif group.startswith("llc.slice"):
+            accesses = values["demand_accesses"] + values["prefetch_fills"]
+            charge("LLC", accesses * ENERGY_PJ["llc_access"])
+        elif group == "noc":
+            charge("NoC", values["flit_hops"] * ENERGY_PJ["noc_flit_hop"])
+        elif group.startswith("dram.ch"):
+            charge("DRAM",
+                   values["reads"] * ENERGY_PJ["dram_read"]
+                   + values["writes"] * ENERGY_PJ["dram_write"]
+                   + values["activates"] * ENERGY_PJ["dram_activate"])
+        elif group.endswith(".chain"):
+            clip_pj = (
+                values.get("clip_filter_accesses", 0)
+                * ENERGY_PJ["clip_filter"]
+                + values.get("clip_predictor_accesses", 0)
+                * ENERGY_PJ["clip_predictor"]
+                + values.get("clip_utility_cam_accesses", 0)
+                * ENERGY_PJ["clip_utility_cam"])
+            if clip_pj:
+                charge("CLIP", clip_pj)
+    return pj
+
+
+def _legacy_picojoules(result: SimulationResult) -> Dict[str, float]:
+    """Level-stats approximation for results without counters."""
     levels = result.levels
     picojoules: Dict[str, float] = {}
     l1 = levels.get("L1D")
@@ -66,18 +138,18 @@ def dynamic_energy(result: SimulationResult,
         picojoules["LLC"] = accesses * ENERGY_PJ["llc_access"]
     # Flit-hops approximated as flits x mean hop count (mesh diameter / 3
     # when packet-level hop data is unavailable).
-    mean_hops = 3.0
-    picojoules["NoC"] = (result.noc.flits * mean_hops
+    picojoules["NoC"] = (result.noc.flits * LEGACY_MEAN_HOPS
                          * ENERGY_PJ["noc_flit_hop"])
     picojoules["DRAM"] = (
         result.dram.reads * ENERGY_PJ["dram_read"]
         + result.dram.writes * ENERGY_PJ["dram_write"]
         + result.dram.row_misses * ENERGY_PJ["dram_activate"])
-    if clip_events:
-        picojoules["CLIP"] = clip_events * (
-            ENERGY_PJ["clip_filter"] + ENERGY_PJ["clip_predictor"]
-            + ENERGY_PJ["clip_utility_cam"])
-    breakdown.components_mj = {
-        name: pj / 1e9 for name, pj in picojoules.items()
-    }
-    return breakdown
+    if result.clip is not None:
+        clip_pj = (
+            result.clip.filter_accesses * ENERGY_PJ["clip_filter"]
+            + result.clip.predictor_accesses * ENERGY_PJ["clip_predictor"]
+            + result.clip.utility_cam_accesses
+            * ENERGY_PJ["clip_utility_cam"])
+        if clip_pj:
+            picojoules["CLIP"] = clip_pj
+    return picojoules

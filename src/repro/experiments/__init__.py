@@ -17,6 +17,8 @@ from repro.experiments.figures import (figure1, figure2, figure3, figure4,
                                        energy_study, llc_sensitivity,
                                        core_count_sensitivity,
                                        ablation_study)
+from repro.experiments.power_budget import (frequency_adjusted_speedup,
+                                            power_budget_study)
 from repro.experiments.runner import BenchScale, ExperimentRunner
 from repro.experiments.sweep import (ResultStore, RunSpec, Scheme, Sweep,
                                      run_sweep)
@@ -26,7 +28,7 @@ __all__ = [
     "figure9", "figure10", "figure11", "figure12", "figure13", "figure14",
     "figure15", "figure16", "figure17", "figure18", "figure19", "figure20",
     "figure21", "table2", "table3", "energy_study", "llc_sensitivity",
-    "ablation_study",
+    "ablation_study", "power_budget_study", "frequency_adjusted_speedup",
     "core_count_sensitivity", "BenchScale", "ExperimentRunner",
     "Scheme", "RunSpec", "Sweep", "ResultStore", "run_sweep",
 ]

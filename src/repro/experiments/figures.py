@@ -787,10 +787,9 @@ def energy_study(runner: Optional[ExperimentRunner] = None,
         for label, scheme in schemes.items():
             result = runner.run(
                 runner.spec_homogeneous(scheme, workload, channels))
-            clip_events = (result.levels["L1D"].demand_accesses
-                           if scheme.clip else 0)
-            totals[label].append(
-                dynamic_energy(result, clip_events=clip_events).total_mj)
+            # Counter-driven: CLIP structure activity comes off the
+            # result's own counters, not a caller-supplied estimate.
+            totals[label].append(dynamic_energy(result).total_mj)
     berti_mj = arithmetic_mean(totals["berti"])
     clip_mj = arithmetic_mean(totals["berti+clip"])
     saving = 1.0 - clip_mj / berti_mj if berti_mj else 0.0

@@ -38,7 +38,8 @@ from pathlib import Path
 from typing import (Callable, Dict, Iterable, Iterator, List, Mapping,
                     Optional, Sequence, Tuple, Union)
 
-from repro.config import SystemConfig, resolve_backend, scaled_config
+from repro.config import (SystemConfig, big_little_overrides,
+                          resolve_backend, scaled_config)
 from repro.sim.stats import SimulationResult
 from repro.sim.system import run_system
 
@@ -46,7 +47,7 @@ from repro.sim.system import run_system
 #: any change that alters simulation outcomes or the ``to_dict`` layout;
 #: every existing cache entry becomes unreachable (keys embed the version)
 #: and is re-simulated on demand.
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 #: Default location of the persistent result store, relative to the
 #: working directory; override with the ``REPRO_CACHE_DIR`` environment
@@ -103,6 +104,15 @@ class Scheme:
     llc_kib: Optional[int] = None
     num_cores: Optional[int] = None
     sim_instructions: Optional[int] = None
+    #: DVFS operating point: re-clock the cores (and the uncore latencies
+    #: expressed in core cycles) to this frequency in GHz.  ``None``
+    #: keeps the Table-3 4 GHz reference clock.
+    frequency_ghz: Optional[float] = None
+    #: Heterogeneous (big/little) mix: the first ``big_cores`` cores keep
+    #: the reference core, the rest run the little-core preset
+    #: (:func:`repro.config.little_core`).  ``None`` keeps the system
+    #: symmetric.
+    big_cores: Optional[int] = None
 
     def __post_init__(self) -> None:
         overrides = self.clip_overrides
@@ -192,7 +202,9 @@ class Scheme:
         mirroring the legacy ``_baseline_overrides`` filter.
         """
         return Scheme(llc_kib=self.llc_kib, num_cores=self.num_cores,
-                      sim_instructions=self.sim_instructions)
+                      sim_instructions=self.sim_instructions,
+                      frequency_ghz=self.frequency_ghz,
+                      big_cores=self.big_cores)
 
     def build_config(self, channels: int, num_cores: int,
                      sim_instructions: int) -> SystemConfig:
@@ -235,6 +247,12 @@ class Scheme:
         if self.llc_kib is not None:
             config.llc_slice = dataclasses.replace(
                 config.llc_slice, size_kib=self.llc_kib)
+        if self.big_cores is not None:
+            config.core_overrides = big_little_overrides(
+                config.num_cores, self.big_cores)
+        if self.frequency_ghz is not None:
+            config = config.at_frequency(self.frequency_ghz)
+        config.validate()
         return config
 
 

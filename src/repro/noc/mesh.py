@@ -30,6 +30,10 @@ class NocStats:
         self.flits = 0
         self.total_latency = 0
         self.total_hops = 0
+        #: Exact flit-hop count (each packet's flits x its XY route
+        #: length) -- the quantity the energy model charges per link
+        #: traversal; local (src == dst) deliveries contribute none.
+        self.flit_hops = 0
         self.high_priority_packets = 0
 
     @property
@@ -134,6 +138,7 @@ class MeshNoc:
         stats.total_latency += arrival - now
         # One XY link per hop, so the memoised path doubles as the count.
         stats.total_hops += len(path)
+        stats.flit_hops += flits * len(path)
         if high_priority:
             stats.high_priority_packets += 1
         return arrival

@@ -9,7 +9,7 @@ deliberately myopic local signal).
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Dict
 
 from repro.dram.controller import DramSystem
 from repro.sim.engine import Engine
@@ -23,6 +23,27 @@ class DramPort:
     def __init__(self, dram: DramSystem, engine: Engine) -> None:
         self.dram = dram
         self.engine = engine
+
+    def channel_counters(self, channel: int) -> Dict[str, int]:
+        """Counter group of one channel (``dram.ch{N}``).
+
+        Includes the per-bank activate counts (``bank{J}_activates``)
+        the Micron-style DRAM power model consumes; ``activates`` is
+        their sum (and equals ``row_misses``: every row miss issues
+        exactly one ACT).
+        """
+        stats = self.dram.channels[channel].stats
+        values = {
+            "reads": stats.reads,
+            "writes": stats.writes,
+            "prefetch_reads": stats.prefetch_reads,
+            "row_hits": stats.row_hits,
+            "activates": sum(stats.bank_activates),
+            "busy_cycles": stats.busy_cycles,
+        }
+        for bank, activates in enumerate(stats.bank_activates):
+            values[f"bank{bank}_activates"] = activates
+        return values
 
     def read(self, line: int, now: int, callback: Callable[[int], None],
              is_prefetch: bool, crit: bool) -> None:

@@ -21,7 +21,7 @@ pollution/occupancy and rescales the prefetchers' degree.
 
 from __future__ import annotations
 
-from typing import Callable, List, TYPE_CHECKING
+from typing import Callable, Dict, List, TYPE_CHECKING
 
 from repro.prefetch.base import PrefetchRequest
 from repro.sim.stats import PrefetchStats
@@ -60,6 +60,30 @@ class PrefetchFilterChain:
         #: Issuing-layer hook, wired to ``L1Node.issue_prefetch``.
         self.issue: Callable[[PrefetchRequest, int, bool], None] = (
             lambda request, cycle, crit: None)
+
+    def counters(self) -> Dict[str, int]:
+        """This chain's counter group (``core{N}.chain``).
+
+        Per-core prefetch issue/drop accounting, plus CLIP's structure
+        accesses (filter, predictor, utility-buffer CAM) when CLIP is
+        attached -- the per-structure activity the paper's energy
+        accounting charges.
+        """
+        node = self.node
+        values = {
+            "pf_issued": node.pf_issued,
+            "pf_dropped_filter": node.pf_dropped_filter,
+            "pf_dropped_duplicate": node.pf_dropped_duplicate,
+            "pf_dropped_mshr": node.pf_dropped_mshr,
+            "pf_useful": node.pf_useful,
+        }
+        if self.clip is not None:
+            stats = self.clip.stats
+            values["clip_filter_accesses"] = stats.filter_accesses
+            values["clip_predictor_accesses"] = stats.predictor_accesses
+            values["clip_utility_cam_accesses"] = \
+                stats.utility_cam_accesses
+        return values
 
     # ------------------------------------------------------------------
     # Candidate filtering

@@ -62,6 +62,19 @@ class L1Node:
         self.offchip: "DramPort"
         self.slices: List["LlcSlice"]
 
+    def counters(self) -> Dict[str, int]:
+        """This L1D's counter group (``core{N}.l1d``): cache activity."""
+        stats = self.cache.stats
+        return {
+            "demand_accesses": stats.demand_accesses,
+            "demand_hits": stats.demand_hits,
+            "demand_misses": stats.demand_misses,
+            "prefetch_fills": stats.prefetch_fills,
+            "useful_prefetches": stats.useful_prefetches,
+            "useless_evictions": stats.useless_evictions,
+            "writebacks": stats.writebacks,
+        }
+
     # ------------------------------------------------------------------
     # Core-facing interface
     # ------------------------------------------------------------------

@@ -9,7 +9,7 @@ wakes every response callback merged into the MSHR entry.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.cache.cache import Cache
 from repro.cpu.core_model import ServiceLevel
@@ -46,6 +46,19 @@ class L2Node:
         self.link: NocLink
         self.slices: List["LlcSlice"]
         self.slice_of: Callable[[int], int]
+
+    def counters(self) -> Dict[str, int]:
+        """This L2's counter group (``core{N}.l2``): cache activity."""
+        stats = self.cache.stats
+        return {
+            "demand_accesses": stats.demand_accesses,
+            "demand_hits": stats.demand_hits,
+            "demand_misses": stats.demand_misses,
+            "prefetch_fills": stats.prefetch_fills,
+            "useful_prefetches": stats.useful_prefetches,
+            "useless_evictions": stats.useless_evictions,
+            "writebacks": stats.writebacks,
+        }
 
     def request(self, req: MemoryRequest, cycle: int,
                 respond: Optional[Respond]) -> None:

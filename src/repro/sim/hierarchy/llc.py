@@ -9,7 +9,7 @@ to the requesting core's L2 node as data packets over the NoC.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import Dict, TYPE_CHECKING
 
 from repro.cache.cache import Cache
 from repro.cpu.core_model import ServiceLevel
@@ -41,6 +41,19 @@ class LlcSlice:
         self.num_slices = num_slices
         self.link = link
         self.dram = dram
+
+    def counters(self) -> Dict[str, int]:
+        """This slice's counter group (``llc.slice{N}``): bank activity."""
+        stats = self.cache.stats
+        return {
+            "demand_accesses": stats.demand_accesses,
+            "demand_hits": stats.demand_hits,
+            "demand_misses": stats.demand_misses,
+            "prefetch_fills": stats.prefetch_fills,
+            "useful_prefetches": stats.useful_prefetches,
+            "useless_evictions": stats.useless_evictions,
+            "writebacks": stats.writebacks,
+        }
 
     def _local(self, line: int) -> int:
         """Slice-local line address: the slice-selection bits are stripped

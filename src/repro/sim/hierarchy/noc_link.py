@@ -9,7 +9,7 @@ message by scheduling the receiver's handler through a
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from repro.noc.mesh import MeshNoc
 from repro.sim.hierarchy.port import Port
@@ -23,6 +23,18 @@ class NocLink:
     def __init__(self, noc: MeshNoc, port: Port) -> None:
         self.noc = noc
         self.port = port
+
+    def counters(self) -> Dict[str, int]:
+        """The mesh's counter group (``noc``), including exact flit-hops
+        (each packet's flits x its real XY route length)."""
+        stats = self.noc.stats
+        return {
+            "packets": stats.packets,
+            "flits": stats.flits,
+            "total_hops": stats.total_hops,
+            "flit_hops": stats.flit_hops,
+            "high_priority_packets": stats.high_priority_packets,
+        }
 
     def request(self, src: int, dst: int, now: int, high_priority: bool,
                 deliver: Callable[..., None], *args) -> None:

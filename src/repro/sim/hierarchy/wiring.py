@@ -11,6 +11,7 @@ All mechanism objects are built here, fully, before any request flows.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, List, Optional
 
 from repro.cache.cache import Cache
@@ -23,6 +24,7 @@ from repro.mmu.tlb import Mmu
 from repro.noc.mesh import MeshNoc
 from repro.prefetch.base import make_prefetcher
 from repro.related.dspatch import DspatchModulator
+from repro.sim.counters import CounterRegistry
 from repro.related.hermes import HermesPredictor
 from repro.sim.engine import Engine
 from repro.sim.hierarchy.dram_port import DramPort
@@ -62,6 +64,30 @@ class Hierarchy:
         self.nodes: List[CoreNode] = [
             self._build_node(core_id, trace)
             for core_id in range(config.num_cores)]
+        #: Typed per-component counter layer: one registered
+        #: :class:`~repro.sim.counters.CounterGroup` per component,
+        #: snapshotted into ``SimulationResult.counters`` at collection
+        #: time (pull model -- zero hot-path cost).  Both backends share
+        #: these component instances, so the snapshot is backend-
+        #: independent by construction.
+        self.counters = CounterRegistry()
+        self._register_counters()
+
+    def _register_counters(self) -> None:
+        registry = self.counters
+        for node in self.nodes:
+            registry.register(f"core{node.core_id}.l1d", node.l1.counters)
+            registry.register(f"core{node.core_id}.l2", node.l2.counters)
+            registry.register(f"core{node.core_id}.chain",
+                              node.chain.counters)
+        for slice_ in self.slices:
+            registry.register(f"llc.slice{slice_.slice_id}",
+                              slice_.counters)
+        registry.register("noc", self.link.counters)
+        for channel in range(len(self.dram_port.dram.channels)):
+            registry.register(
+                f"dram.ch{channel}",
+                partial(self.dram_port.channel_counters, channel))
 
     def slice_of(self, line: int) -> int:
         return line % self.num_slices

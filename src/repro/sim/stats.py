@@ -138,6 +138,10 @@ class ClipResult:
     dynamic_critical_ips: int = 0
     windows: int = 0
     phase_changes: int = 0
+    #: Structure activity summed across cores (energy-model inputs).
+    filter_accesses: int = 0
+    predictor_accesses: int = 0
+    utility_cam_accesses: int = 0
 
 
 @dataclass
@@ -165,6 +169,10 @@ class NocResult:
     packets: int = 0
     flits: int = 0
     average_latency: float = 0.0
+    #: Total XY hops and exact flit-hops (flits x route length per
+    #: packet) -- the energy model's per-link-traversal activity count.
+    total_hops: int = 0
+    flit_hops: int = 0
 
 
 @dataclass
@@ -181,6 +189,18 @@ class SimulationResult:
     noc: NocResult = field(default_factory=NocResult)
     total_cycles: int = 0
     branch_accuracy: float = 1.0
+    #: Per-component counter snapshot (``repro.sim.counters``):
+    #: ``{group: {counter: value}}``, one group per hierarchy component
+    #: (``core{N}.l1d``, ``core{N}.l2``, ``core{N}.chain``,
+    #: ``llc.slice{N}``, ``noc``, ``dram.ch{N}``).  Identical across
+    #: simulation backends.
+    counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Counter-driven dynamic energy (``repro.energy``): total, by
+    #: component, and the energy-delay product at the configured core
+    #: frequency.  Zero/empty when the result predates the counter layer.
+    energy_mj: float = 0.0
+    edp_mj_s: float = 0.0
+    energy_breakdown_mj: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ipc_per_core(self) -> List[float]:
@@ -218,6 +238,11 @@ class SimulationResult:
             "noc": dataclasses.asdict(self.noc),
             "total_cycles": self.total_cycles,
             "branch_accuracy": self.branch_accuracy,
+            "counters": {group: dict(values)
+                         for group, values in self.counters.items()},
+            "energy_mj": self.energy_mj,
+            "edp_mj_s": self.edp_mj_s,
+            "energy_breakdown_mj": dict(self.energy_breakdown_mj),
         }
 
     @classmethod
@@ -237,6 +262,12 @@ class SimulationResult:
             noc=NocResult(**data["noc"]),
             total_cycles=data["total_cycles"],
             branch_accuracy=data["branch_accuracy"],
+            counters={group: dict(values)
+                      for group, values in
+                      data.get("counters", {}).items()},
+            energy_mj=data.get("energy_mj", 0.0),
+            edp_mj_s=data.get("edp_mj_s", 0.0),
+            energy_breakdown_mj=dict(data.get("energy_breakdown_mj", {})),
         )
 
 

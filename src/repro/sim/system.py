@@ -136,16 +136,17 @@ class MulticoreSystem:
         batch = self.backend == "batch"
         for core_id, name in enumerate(self.workload_names):
             trace = _workload_trace(name, length, core_id)
+            core_config = config.core_for(core_id)
             if batch:
                 core: Core = BatchCore(
-                    core_id, config.core, trace,
+                    core_id, core_config, trace,
                     trace_soa(trace, config.branch),
                     memory=self.hierarchy, engine=self.engine,
                     branch_predictor=HashedPerceptronPredictor(
                         config.branch),
                     warmup_instructions=config.warmup_instructions)
             else:
-                core = Core(core_id, config.core, trace,
+                core = Core(core_id, core_config, trace,
                             memory=self.hierarchy, engine=self.engine,
                             branch_predictor=HashedPerceptronPredictor(
                                 config.branch),
@@ -191,12 +192,29 @@ class MulticoreSystem:
         result.dram = self._collect_dram(final_cycle)
         result.noc = NocResult(
             packets=self.noc.stats.packets, flits=self.noc.stats.flits,
-            average_latency=self.noc.stats.average_latency)
+            average_latency=self.noc.stats.average_latency,
+            total_hops=self.noc.stats.total_hops,
+            flit_hops=self.noc.stats.flit_hops)
         if self.config.clip.enabled:
             result.clip = self._collect_clip()
         if self.config.criticality.name != "none":
             result.criticality = self._collect_criticality()
+        result.counters = self.hierarchy.counters.snapshot()
+        self._attach_energy(result)
         return result
+
+    def _attach_energy(self, result: SimulationResult) -> None:
+        """Counter-driven energy and EDP at the configured frequency."""
+        # Deferred import: repro.energy.model imports repro.sim.stats,
+        # which resolves through repro.sim's package __init__ and lands
+        # back in this module while it is still initialising.
+        from repro.energy.model import dynamic_energy
+        breakdown = dynamic_energy(result)
+        result.energy_breakdown_mj = breakdown.components_mj
+        result.energy_mj = breakdown.total_mj
+        delay_s = result.total_cycles / (self.config.core.frequency_ghz
+                                         * 1e9)
+        result.edp_mj_s = result.energy_mj * delay_s
 
     def _collect_levels(self) -> Dict[str, LevelStats]:
         levels = {
@@ -260,6 +278,10 @@ class MulticoreSystem:
             clip_result.dynamic_critical_ips += dynamic
             clip_result.windows += clip.stats.windows
             clip_result.phase_changes += clip.stats.phase_changes
+            clip_result.filter_accesses += clip.stats.filter_accesses
+            clip_result.predictor_accesses += clip.stats.predictor_accesses
+            clip_result.utility_cam_accesses += \
+                clip.stats.utility_cam_accesses
         clip_result.prediction_accuracy = (correct / predicted
                                            if predicted else 0.0)
         clip_result.prediction_coverage = (covered / actual

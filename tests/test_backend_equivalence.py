@@ -57,6 +57,12 @@ def _assert_backends_identical(build, label):
         diffs = "\n".join(_diff(event, batch)[:40])
         pytest.fail(f"batch backend diverged from the event backend on "
                     f"{label}:\n{diffs}")
+    # The per-component counter layer is part of the contract: both
+    # backends must report the same non-empty group -> counter dicts
+    # (asserted explicitly, not just via the full-dict comparison above,
+    # so a future serialisation change cannot silently drop them).
+    assert event["counters"], f"no counter groups on {label}"
+    assert event["counters"] == batch["counters"]
     return event
 
 
@@ -70,6 +76,20 @@ def test_batch_matches_event_on_golden_point(point):
     # Guard against vacuous equality on an idle machine.
     assert result["total_cycles"] > 0
     assert result["dram"]["reads"] > 0
+    # Counter-layer signal: every expected component group is present
+    # and the hierarchy actually moved data.
+    counters = result["counters"]
+    config, _ = POINTS[point]()
+    for core_id in range(config.num_cores):
+        assert f"core{core_id}.l1d" in counters
+        assert f"core{core_id}.l2" in counters
+        assert f"core{core_id}.chain" in counters
+    assert "noc" in counters and counters["noc"]["flit_hops"] > 0
+    assert any(group.startswith("dram.ch") for group in counters)
+    total_dram_reads = sum(values["reads"] for group, values
+                           in counters.items()
+                           if group.startswith("dram.ch"))
+    assert total_dram_reads == result["dram"]["reads"]
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,145 @@
+"""Tests for the per-component counter layer (``repro.sim.counters``).
+
+Unit coverage for the registry itself, plus system-level invariants tying
+the counter snapshot to the aggregate result fields it must explain:
+per-channel DRAM reads sum to the DRAM total, per-bank activates sum to
+the row-miss count, flit-hops are bounded by the mesh diameter, and CLIP
+structure-access counters appear exactly when CLIP is attached.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import scaled_config
+from repro.sim.counters import CounterGroup, CounterRegistry
+from repro.sim.system import run_system
+
+MIX = ["605.mcf_s-1536B", "bfs-14", "619.lbm_s-2676B", "cloud9"]
+
+
+def _run(clip: bool = False, prefetcher: str = "berti"):
+    config = scaled_config(num_cores=4, channels=2,
+                           sim_instructions=2_500)
+    config.l1_prefetcher = dataclasses.replace(config.l1_prefetcher,
+                                               name=prefetcher)
+    if clip:
+        config.clip = dataclasses.replace(config.clip, enabled=True)
+    return config, run_system(config, MIX)
+
+
+class TestCounterGroup:
+    def test_snapshot_returns_fresh_dict(self):
+        state = {"hits": 3}
+        group = CounterGroup("g", lambda: dict(state))
+        first = group.snapshot()
+        first["hits"] = 99
+        assert group.snapshot() == {"hits": 3}
+
+    def test_snapshot_rejects_non_int(self):
+        group = CounterGroup("g", lambda: {"ratio": 0.5})
+        with pytest.raises(TypeError, match="ratio"):
+            group.snapshot()
+
+    def test_snapshot_rejects_bool(self):
+        group = CounterGroup("g", lambda: {"flag": True})
+        with pytest.raises(TypeError, match="flag"):
+            group.snapshot()
+
+
+class TestCounterRegistry:
+    def test_duplicate_name_rejected(self):
+        registry = CounterRegistry()
+        registry.register("noc", lambda: {})
+        with pytest.raises(ValueError, match="noc"):
+            registry.register("noc", lambda: {})
+
+    def test_snapshot_keyed_by_group(self):
+        registry = CounterRegistry()
+        registry.register("a", lambda: {"x": 1})
+        registry.register("b", lambda: {"y": 2})
+        assert registry.groups() == ("a", "b")
+        assert registry.snapshot() == {"a": {"x": 1}, "b": {"y": 2}}
+
+
+class TestSystemCounters:
+    def test_expected_groups_present(self):
+        config, result = _run()
+        counters = result.counters
+        for core_id in range(config.num_cores):
+            for suffix in ("l1d", "l2", "chain"):
+                assert f"core{core_id}.{suffix}" in counters
+        assert "noc" in counters
+        for channel in range(config.dram.channels):
+            assert f"dram.ch{channel}" in counters
+        assert any(group.startswith("llc.slice") for group in counters)
+
+    def test_dram_channels_sum_to_totals(self):
+        config, result = _run()
+        groups = [values for group, values in result.counters.items()
+                  if group.startswith("dram.ch")]
+        assert sum(g["reads"] for g in groups) == result.dram.reads
+        assert sum(g["writes"] for g in groups) == result.dram.writes
+        assert sum(g["row_hits"] for g in groups) == result.dram.row_hits
+
+    def test_per_bank_activates_sum_to_row_misses(self):
+        """Open-page policy: every row miss issues exactly one ACT, so
+        the per-bank activate counters must sum to the row-miss total."""
+        config, result = _run()
+        total_activates = 0
+        for group, values in result.counters.items():
+            if not group.startswith("dram.ch"):
+                continue
+            banks = [values[f"bank{b}_activates"]
+                     for b in range(config.dram.banks_per_channel)]
+            assert values["activates"] == sum(banks)
+            total_activates += values["activates"]
+        assert total_activates == result.dram.row_misses
+
+    def test_flit_hops_exact_not_mean(self):
+        """Flit-hops are per-packet route lengths, bounded by the mesh
+        diameter, and consistent with the packet-level hop count."""
+        config, result = _run()
+        noc = result.counters["noc"]
+        assert noc["flit_hops"] == result.noc.flit_hops > 0
+        assert noc["total_hops"] == result.noc.total_hops > 0
+        # Each packet carries >= 1 flit, so flit-hops >= total hops;
+        # no route exceeds the mesh diameter.
+        assert noc["flit_hops"] >= noc["total_hops"]
+        diameter = 2 * (config.mesh_dim - 1)
+        assert noc["total_hops"] <= noc["packets"] * diameter
+
+    def test_l1_counters_match_level_stats(self):
+        config, result = _run()
+        total = sum(values["demand_accesses"]
+                    for group, values in result.counters.items()
+                    if group.endswith(".l1d"))
+        assert total == result.levels["L1D"].demand_accesses
+
+    def test_clip_counters_only_when_clip_enabled(self):
+        _, without = _run(clip=False)
+        for group, values in without.counters.items():
+            if group.endswith(".chain"):
+                assert "clip_filter_accesses" not in values
+        _, with_clip = _run(clip=True)
+        chain_groups = [values for group, values
+                        in with_clip.counters.items()
+                        if group.endswith(".chain")]
+        assert chain_groups
+        total = sum(g["clip_filter_accesses"] for g in chain_groups)
+        assert total == with_clip.clip.filter_accesses > 0
+        assert sum(g["clip_predictor_accesses"]
+                   for g in chain_groups) > 0
+        assert sum(g["clip_utility_cam_accesses"]
+                   for g in chain_groups) > 0
+
+    def test_counters_survive_serialisation(self):
+        from repro.sim.stats import SimulationResult
+        _, result = _run()
+        rebuilt = SimulationResult.from_dict(result.to_dict())
+        assert rebuilt.counters == result.counters
+        assert rebuilt.energy_mj == result.energy_mj
+        assert rebuilt.edp_mj_s == result.edp_mj_s
+        assert rebuilt.energy_breakdown_mj == result.energy_breakdown_mj

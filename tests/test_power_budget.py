@@ -1,0 +1,131 @@
+"""Power model and power-budget sweep driver tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (CoreConfig, SystemConfig, big_little_overrides,
+                          little_core, scaled_config)
+from repro.energy import (BASE_CORE_POWER_W, core_power_w, cores_power_w,
+                          package_power_w, uncore_static_w)
+from repro.experiments import BenchScale, ExperimentRunner
+from repro.experiments.power_budget import (frequency_adjusted_speedup,
+                                            power_budget_study)
+from repro.sim.stats import CoreResult, SimulationResult
+from repro.sim.system import run_system
+
+
+class TestCorePower:
+    def test_reference_core_is_the_baseline(self):
+        assert core_power_w(CoreConfig()) == pytest.approx(
+            BASE_CORE_POWER_W)
+
+    def test_little_core_is_cheaper(self):
+        assert core_power_w(little_core()) < core_power_w(CoreConfig())
+
+    def test_frequency_scales_cubically(self):
+        half = CoreConfig(frequency_ghz=2.0)
+        assert core_power_w(half) == pytest.approx(
+            BASE_CORE_POWER_W / 8.0)
+
+    def test_cores_power_honours_overrides(self):
+        symmetric = SystemConfig(num_cores=4)
+        hetero = SystemConfig(num_cores=4)
+        hetero.core_overrides = big_little_overrides(4, 2)
+        assert cores_power_w(hetero) < cores_power_w(symmetric)
+        assert cores_power_w(symmetric) == pytest.approx(
+            4 * BASE_CORE_POWER_W)
+
+    def test_uncore_static_grows_with_channels(self):
+        few = scaled_config(num_cores=4, channels=1)
+        many = scaled_config(num_cores=4, channels=4)
+        assert uncore_static_w(many) > uncore_static_w(few)
+
+
+class TestPackagePower:
+    def test_package_power_from_simulation(self):
+        config = scaled_config(num_cores=2, channels=1,
+                               sim_instructions=1_500)
+        result = run_system(config, ["605.mcf_s-1536B"] * 2)
+        power = package_power_w(result, config)
+        # At least the cores + static floor, plus some uncore dynamic.
+        floor = cores_power_w(config) + uncore_static_w(config)
+        assert power > floor
+
+    def test_lower_frequency_lower_power(self):
+        base = scaled_config(num_cores=2, channels=1,
+                             sim_instructions=1_500)
+        slow = base.at_frequency(3.0)
+        mix = ["605.mcf_s-1536B"] * 2
+        fast_power = package_power_w(run_system(base, mix), base)
+        slow_power = package_power_w(run_system(slow, mix), slow)
+        assert slow_power < fast_power
+
+
+class TestFrequencyAdjustedSpeedup:
+    def _result(self, ipcs):
+        result = SimulationResult(config_label="t")
+        for i, ipc in enumerate(ipcs):
+            result.cores.append(CoreResult(
+                core_id=i, workload="w", instructions=1000,
+                cycles=int(1000 / ipc), loads=0, stores=0, branches=0,
+                mispredicts=0, head_stall_cycles=0,
+                head_stall_cycles_miss=0, critical_load_instances=0,
+                load_instances_beyond_l1=0))
+        return result
+
+    def test_identity_at_same_frequency(self):
+        a = self._result([0.5, 0.5])
+        assert frequency_adjusted_speedup(a, a, 4.0, 4.0) \
+            == pytest.approx(1.0)
+
+    def test_equal_rates_across_frequencies(self):
+        """Half the IPC at twice the clock is the same instruction rate."""
+        slow_clock = self._result([1.0])
+        fast_clock = self._result([0.5])
+        assert frequency_adjusted_speedup(fast_clock, slow_clock,
+                                          8.0, 4.0) == pytest.approx(1.0)
+
+    def test_mismatched_cores_rejected(self):
+        with pytest.raises(ValueError):
+            frequency_adjusted_speedup(self._result([1.0]),
+                                       self._result([1.0, 1.0]), 4.0, 4.0)
+
+
+class TestPowerBudgetStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        runner = ExperimentRunner(BenchScale(num_cores=4,
+                                             sim_instructions=1_500))
+        out = power_budget_study(runner, budget_w=9.0,
+                                 frequencies=(3.0, 4.0), sample=1,
+                                 quiet=True)
+        return out
+
+    def test_grid_covers_variants_and_frequencies(self, study):
+        assert set(study["grid"]) == {
+            "symmetric@3GHz", "symmetric@4GHz",
+            "big.little@3GHz", "big.little@4GHz"}
+        for row in study["grid"].values():
+            assert row["power_w"] > 0
+            assert row["energy_mj"] > 0
+            assert row["edp_mj_s"] > 0
+            assert row["speedup"] > 0
+
+    def test_best_point_fits_the_budget(self, study):
+        assert study["budget_w"] == 9.0
+        if study["best"] is not None:
+            assert study["grid"][study["best"]]["power_w"] <= 9.0
+
+    def test_impossible_budget_has_no_winner(self):
+        runner = ExperimentRunner(BenchScale(num_cores=4,
+                                             sim_instructions=1_500))
+        out = power_budget_study(runner, budget_w=0.001,
+                                 frequencies=(4.0,), sample=1,
+                                 quiet=True)
+        assert out["best"] is None
+
+    def test_biglittle_uses_less_power_than_symmetric(self, study):
+        for freq in ("3GHz", "4GHz"):
+            assert (study["grid"][f"big.little@{freq}"]["power_w"]
+                    < study["grid"][f"symmetric@{freq}"]["power_w"])

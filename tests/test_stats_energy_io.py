@@ -10,9 +10,9 @@ import pytest
 from repro.config import (CacheConfig, ClipConfig, SystemConfig,
                           scaled_config)
 from repro.energy import dynamic_energy
-from repro.sim.stats import (CoreResult, DramResult, LevelStats, NocResult,
-                             PrefetchStats, SimulationResult,
-                             weighted_speedup)
+from repro.sim.stats import (ClipResult, CoreResult, DramResult,
+                             LevelStats, NocResult, PrefetchStats,
+                             SimulationResult, weighted_speedup)
 from repro.trace.io import load_trace, save_trace
 from repro.trace.synthetic import SyntheticWorkload
 from repro.trace.workloads import get_workload
@@ -103,10 +103,42 @@ class TestEnergyModel:
 
     def test_clip_energy_is_small(self):
         base = dynamic_energy(self._loaded_result())
-        with_clip = dynamic_energy(self._loaded_result(),
-                                   clip_events=10_000)
-        overhead = with_clip.total_mj - base.total_mj
+        with_clip = self._loaded_result()
+        with_clip.clip = ClipResult(filter_accesses=10_000,
+                                    predictor_accesses=10_000,
+                                    utility_cam_accesses=5_000)
+        overhead = dynamic_energy(with_clip).total_mj - base.total_mj
         assert 0 < overhead < 0.05 * base.total_mj
+
+    def test_clip_events_argument_is_a_deprecated_noop(self):
+        result = self._loaded_result()
+        base = dynamic_energy(result)
+        with pytest.warns(DeprecationWarning, match="clip_events"):
+            legacy = dynamic_energy(result, clip_events=10_000)
+        # Ignored, not applied: CLIP activity comes from the result's
+        # own counters, and this result has none.
+        assert legacy.total_mj == base.total_mj
+        assert "CLIP" not in legacy.components_mj
+
+    def test_counter_driven_when_counters_present(self):
+        result = self._loaded_result()
+        legacy = dynamic_energy(result)
+        result.counters = {
+            "core0.l1d": {"demand_accesses": 10_000, "prefetch_fills": 500},
+            "core0.l2": {"demand_accesses": 2_000, "prefetch_fills": 0},
+            "llc.slice0": {"demand_accesses": 800, "prefetch_fills": 0},
+            # Exact flit-hops, not flits x LEGACY_MEAN_HOPS.
+            "noc": {"flit_hops": 20_000},
+            "dram.ch0": {"reads": 500, "writes": 100, "activates": 200},
+        }
+        counter = dynamic_energy(result)
+        # SRAM and DRAM components agree with the legacy estimate...
+        for name in ("L1D", "L2", "LLC", "DRAM"):
+            assert counter.components_mj[name] == pytest.approx(
+                legacy.components_mj[name])
+        # ...but the NoC uses the measured hop count (20k != 4000 x 3).
+        assert counter.components_mj["NoC"] != pytest.approx(
+            legacy.components_mj["NoC"])
 
     def test_total_is_sum(self):
         breakdown = dynamic_energy(self._loaded_result())

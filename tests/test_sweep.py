@@ -164,6 +164,30 @@ class TestExecutor:
         store.path_for(key).write_text(json.dumps(payload))
         assert store.load(key) is None
 
+    def test_stale_schema_entry_is_a_miss_not_an_error(self, tmp_path):
+        """A cache written before the schema bump (version 1, results
+        without the counter/energy fields) must read as a miss and be
+        re-simulated -- never raise out of ``load`` or ``run_sweep``."""
+        store = ResultStore(tmp_path)
+        spec = self.SPECS[0]
+        key = spec.cache_key()
+        fresh = run_sweep([spec], store=store)
+        payload = json.loads(store.path_for(key).read_text())
+        # Rewind the entry to the previous release: old version number
+        # and a result lacking every field the counter layer added.
+        payload["schema"] = CACHE_SCHEMA_VERSION - 1
+        for gone in ("counters", "energy_mj", "edp_mj_s",
+                     "energy_breakdown_mj"):
+            payload["result"].pop(gone)
+        store.path_for(key).write_text(json.dumps(payload))
+        assert store.load(key) is None
+        outcome = run_sweep([spec], store=store)
+        assert outcome.simulated == 1 and outcome.cache_hits == 0
+        # The re-run repopulated the entry at the current schema.
+        assert store.load(key) is not None
+        assert (outcome.results[spec].to_dict()
+                == fresh.results[spec].to_dict())
+
     def test_store_ignores_corrupt_entry(self, tmp_path):
         store = ResultStore(tmp_path)
         spec = self.SPECS[0]
