@@ -364,14 +364,18 @@ class WallClockRule(Rule):
     Simulated time comes from the engine (``engine.now``); host-time
     measurement belongs in the benchmark harness, not the model --
     which is why ``experiments/hotpath.py`` (the wall-clock benchmark
-    suite behind ``repro bench``) is the one exempt module.
+    suite behind ``repro bench``) is exempt, as is the distributed
+    sweep coordinator (``serve/coordinator.py``), whose lease deadlines
+    and progress cadence are genuinely host time: it schedules worker
+    processes, never simulated events.
     """
 
     id = "SIM007"
     name = "wall-clock"
     summary = "wall-clock read (time.time/datetime.now) in sim code"
 
-    _EXEMPT = ("src/repro/experiments/hotpath.py",)
+    _EXEMPT = ("src/repro/experiments/hotpath.py",
+               "src/repro/serve/coordinator.py")
 
     def visit(self, node: ast.AST, ctx: LintContext) -> Iterator[Violation]:
         if not isinstance(node, ast.Call):

@@ -35,7 +35,7 @@ affects science, only wall-clock.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import (Callable, Dict, Iterable, Iterator, List, Mapping,
                     Optional, Sequence, Tuple, Union)
 
@@ -92,6 +92,9 @@ class SweepResult:
     cache_hits: int
     #: Resolved backend name the fresh points ran under.
     backend: str
+    #: Per-point producer: ``"cache"``, ``"local"``, or the distributed
+    #: worker id that simulated the point (``executor="distributed"``).
+    provenance: Mapping[RunSpec, str] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.specs)
@@ -104,6 +107,11 @@ class SweepResult:
 
     def items(self) -> Iterator[Tuple[RunSpec, SimulationResult]]:
         return ((spec, self.results[spec]) for spec in self.specs)
+
+    def producer(self, spec: RunSpec) -> str:
+        """Who produced a point: ``"cache"``, ``"local"``, or a
+        distributed worker id."""
+        return self.provenance[spec]
 
     def find(self, scheme: Optional[SchemeLike] = None,
              mix: Optional[Sequence[str]] = None,
@@ -154,6 +162,7 @@ def sweep(schemes: Union[SchemeLike, Iterable[SchemeLike]],
           backend: Optional[str] = None,
           jobs: int = 1,
           cache: Union[bool, str, ResultStore] = True,
+          executor: str = "local",
           on_result: Optional[Callable[[RunSpec, SimulationResult],
                                        None]] = None) -> SweepResult:
     """Simulate the cross product of schemes x workload mixes x channels.
@@ -167,6 +176,13 @@ def sweep(schemes: Union[SchemeLike, Iterable[SchemeLike]],
     a :class:`ResultStore`); fresh points fan out across ``jobs``
     processes and run on ``backend`` ("event"/"batch" -- bit-identical
     results, so cache entries are shared across backends).
+
+    ``executor="distributed"`` fans the misses out through the
+    :mod:`repro.serve` coordinator/worker service instead of a local
+    process pool (``jobs`` worker subprocesses; bit-identical results;
+    transparent fallback to local execution when the service cannot
+    start); :attr:`SweepResult.provenance` then records which worker
+    produced each point.  See ``docs/serving.md``.
     """
     grid = Sweep.product(_as_schemes(schemes), _as_mixes(workloads),
                          [channels] if isinstance(channels, int)
@@ -184,11 +200,12 @@ def sweep(schemes: Union[SchemeLike, Iterable[SchemeLike]],
     else:
         store = None
     outcome = run_sweep(grid, jobs=jobs, store=store, backend=backend,
-                        on_result=on_result)
+                        executor=executor, on_result=on_result)
     return SweepResult(specs=tuple(grid), results=outcome.results,
                        simulated=outcome.simulated,
                        cache_hits=outcome.cache_hits,
-                       backend=resolve_backend(backend or "event"))
+                       backend=resolve_backend(backend or "event"),
+                       provenance=dict(outcome.provenance))
 
 
 def power_budget(budget_w: Optional[float] = None, *,

@@ -6,6 +6,9 @@ Commands
 ``figure``     regenerate one of the paper's figures/tables by name
 ``sweep``      run a (scheme x workload x channel) grid in parallel,
                with results persisted in the on-disk cache
+``serve``      coordinate a distributed sweep campaign over the
+               repro.serve HTTP/JSON worker protocol (docs/serving.md)
+``worker``     pull and simulate jobs from a ``serve`` coordinator
 ``workloads``  list the available workload models
 ``storage``    print CLIP's Table-2 storage accounting
 ``characterize``  static characterisation of one workload model
@@ -43,6 +46,53 @@ FIGURES = {
     "ablation": experiments.ablation_study,
 }
 TABLES = {"table2": experiments.table2, "table3": experiments.table3}
+
+
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """Grid + cache options shared by ``sweep`` and ``serve``."""
+    parser.add_argument("--schemes", nargs="+", default=None,
+                        help="scheme names, e.g. berti berti+clip "
+                             "(default: the Fig. 19-20 comparison "
+                             "space)")
+    parser.add_argument("--workloads", nargs="+", default=None,
+                        help="workload model names (default: the "
+                             "scale's homogeneous sample)")
+    parser.add_argument("--channels", nargs="+", type=int, default=None,
+                        help="channel counts (default: the Fig. 19-20 "
+                             "sweep, 1 2 4)")
+    parser.add_argument("--cores", type=int, default=8)
+    parser.add_argument("--instructions", type=int, default=8_000)
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory (default: "
+                             ".repro-cache/, or $REPRO_CACHE_DIR)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the on-disk cache")
+    parser.add_argument("--backend", choices=["event", "batch"],
+                        default=None,
+                        help="simulation engine (bit-identical "
+                             "results; also: REPRO_BACKEND)")
+
+
+def _build_grid(args: argparse.Namespace):
+    """The (schemes, mixes, channels, Sweep-with-baselines) a ``sweep``
+    or ``serve`` invocation describes."""
+    from repro.experiments.figures import channel_sweep_schemes
+    from repro.experiments.sweep import Scheme, Sweep
+    from repro.trace import homogeneous_mix
+
+    scale = experiments.BenchScale(num_cores=args.cores,
+                                   sim_instructions=args.instructions)
+    if args.schemes is not None:
+        schemes = {name: Scheme.parse(name) for name in args.schemes}
+    else:
+        schemes = channel_sweep_schemes()
+    workloads = args.workloads or scale.sample_homogeneous()
+    channels = args.channels or list(scale.channel_sweep[:3])
+    mixes = [homogeneous_mix(w, args.cores) for w in workloads]
+    grid = Sweep.product(list(schemes.values()), mixes, channels,
+                         num_cores=args.cores,
+                         sim_instructions=args.instructions)
+    return schemes, mixes, channels, grid.with_baselines()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -108,30 +158,59 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser(
         "sweep", help="run a (scheme x workload x channel) grid, "
                       "parallel and disk-cached")
-    sweep.add_argument("--schemes", nargs="+", default=None,
-                       help="scheme names, e.g. berti berti+clip "
-                            "(default: the Fig. 19-20 comparison space)")
-    sweep.add_argument("--workloads", nargs="+", default=None,
-                       help="workload model names (default: the scale's "
-                            "homogeneous sample)")
-    sweep.add_argument("--channels", nargs="+", type=int, default=None,
-                       help="channel counts (default: the Fig. 19-20 "
-                            "sweep, 1 2 4)")
-    sweep.add_argument("--cores", type=int, default=8)
-    sweep.add_argument("--instructions", type=int, default=8_000)
+    _add_grid_arguments(sweep)
     sweep.add_argument("--jobs", "-j", type=int, default=1,
                        help="worker processes for independent points")
-    sweep.add_argument("--cache-dir", default=None,
-                       help="result cache directory (default: "
-                            ".repro-cache/, or $REPRO_CACHE_DIR)")
-    sweep.add_argument("--no-cache", action="store_true",
-                       help="do not read or write the on-disk cache")
+    sweep.add_argument("--executor", choices=["local", "distributed"],
+                       default="local",
+                       help="how misses run: a local process pool, or "
+                            "the repro.serve coordinator + worker "
+                            "subprocesses (bit-identical results)")
     sweep.add_argument("--csv", metavar="PATH", default=None,
                        help="also export the speedup series as CSV")
-    sweep.add_argument("--backend", choices=["event", "batch"],
-                       default=None,
-                       help="simulation engine (bit-identical results; "
-                            "also: REPRO_BACKEND)")
+
+    serve = sub.add_parser(
+        "serve", help="coordinate a distributed sweep campaign "
+                      "(workers connect with `repro worker`)")
+    _add_grid_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="protocol port (default: an ephemeral one, "
+                            "printed at startup)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="also spawn this many local worker "
+                            "subprocesses (0: wait for `repro worker`)")
+    serve.add_argument("--manifest", default=None, metavar="PATH",
+                       help="persist the resumable campaign manifest "
+                            "here (written at startup and on shutdown)")
+    serve.add_argument("--resume", action="store_true",
+                       help="load the campaign from --manifest instead "
+                            "of the grid options")
+    serve.add_argument("--lease-timeout", type=float, default=30.0,
+                       help="seconds a claimed job stays leased "
+                            "without a heartbeat (default 30)")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="failures (incl. lease expiries) before a "
+                            "job is quarantined (default 3)")
+    serve.add_argument("--status-json", default=None, metavar="PATH",
+                       help="write the final /status document here")
+
+    worker = sub.add_parser(
+        "worker", help="pull and simulate jobs from a `repro serve` "
+                       "coordinator")
+    worker.add_argument("--url", required=True,
+                        help="coordinator base URL, e.g. "
+                             "http://127.0.0.1:8377")
+    worker.add_argument("--id", default=None,
+                        help="worker id (default: <hostname>-<pid>)")
+    worker.add_argument("--backend", choices=["event", "batch"],
+                        default=None,
+                        help="simulation engine override (default: the "
+                             "coordinator's choice)")
+    worker.add_argument("--max-jobs", type=int, default=None,
+                        help="exit after completing this many jobs")
+    worker.add_argument("--verbose", action="store_true",
+                        help="print one line per completed job")
 
     sub.add_parser("workloads", help="list workload models")
     sub.add_parser("storage", help="print Table 2 (CLIP storage)")
@@ -259,29 +338,15 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.experiments.figures import channel_sweep_schemes
     from repro.experiments.statistics import geometric_mean
-    from repro.experiments.sweep import (ResultStore, Scheme, Sweep,
-                                         run_sweep)
+    from repro.experiments.sweep import ResultStore, run_sweep
     from repro.sim.stats import weighted_speedup
-    from repro.trace import homogeneous_mix
 
-    scale = experiments.BenchScale(num_cores=args.cores,
-                                   sim_instructions=args.instructions)
-    if args.schemes is not None:
-        schemes = {name: Scheme.parse(name) for name in args.schemes}
-    else:
-        schemes = channel_sweep_schemes()
-    workloads = args.workloads or scale.sample_homogeneous()
-    channels = args.channels or list(scale.channel_sweep[:3])
-    mixes = [homogeneous_mix(w, args.cores) for w in workloads]
-    sweep = Sweep.product(list(schemes.values()), mixes, channels,
-                          num_cores=args.cores,
-                          sim_instructions=args.instructions)
-    sweep = sweep.with_baselines()
+    schemes, mixes, channels, sweep = _build_grid(args)
+    workloads = args.workloads or [mix[0] for mix in mixes]
     store = None if args.no_cache else ResultStore(args.cache_dir)
     outcome = run_sweep(sweep, jobs=args.jobs, store=store,
-                        backend=args.backend)
+                        backend=args.backend, executor=args.executor)
 
     def speedup(scheme, mix, ch) -> float:
         spec = experiments.RunSpec(scheme=scheme, mix=tuple(mix),
@@ -308,6 +373,120 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
           f"{outcome.cache_hits} of {len(sweep)} served from the disk "
           f"cache")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run one distributed campaign to completion (or interruption).
+
+    SIGTERM/SIGINT trigger a graceful shutdown: in-flight jobs get a
+    short drain window, the campaign manifest is persisted, and every
+    completed point is already durable in the result store -- so a
+    rerun (``--resume`` or the same grid) recomputes nothing.
+    """
+    import asyncio
+    import json as json_mod
+    from pathlib import Path
+
+    from repro.experiments.sweep import ResultStore
+    from repro.serve.coordinator import Coordinator, ServeSettings
+    from repro.serve.manifest import load_manifest
+    from repro.serve.queue import QueuePolicy
+
+    quarantined = {}
+    backend = args.backend
+    if args.resume:
+        if not args.manifest:
+            print("--resume requires --manifest PATH")
+            return 2
+        state = load_manifest(args.manifest)
+        specs = state["specs"]
+        backend = backend or state["backend"]
+        quarantined = state["quarantined"]
+    else:
+        specs = list(_build_grid(args)[3])
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    settings = ServeSettings(
+        host=args.host, port=args.port,
+        policy=QueuePolicy(lease_timeout=args.lease_timeout,
+                           max_attempts=args.max_attempts))
+    coordinator = Coordinator(specs, store=store, backend=backend,
+                              settings=settings,
+                              manifest_path=args.manifest,
+                              quarantined=quarantined,
+                              progress=print)
+    interrupted = asyncio.run(_serve_campaign(coordinator,
+                                              args.workers))
+    status = coordinator.status()
+    if args.status_json:
+        Path(args.status_json).write_text(
+            json_mod.dumps(status, indent=2, sort_keys=True))
+        print(f"wrote {args.status_json}")
+    print(f"simulated {coordinator.simulated} point(s); "
+          f"{coordinator.cache_hits} of {status['total']} served from "
+          f"the disk cache")
+    for item in status["quarantine"]:
+        error = (item["error"] or "unknown error").strip()
+        print(f"quarantined: {item['label']} after {item['attempts']} "
+              f"attempt(s): {error.splitlines()[-1]}")
+    if interrupted:
+        print("interrupted; campaign is resumable"
+              + (f" from {args.manifest}" if args.manifest else ""))
+        return 130
+    return 2 if status["quarantine"] else 0
+
+
+async def _serve_campaign(coordinator, local_workers: int) -> bool:
+    """Serve until the campaign is terminal or a signal arrives;
+    returns True when interrupted."""
+    import asyncio
+    import signal
+
+    from repro.serve.executor import spawn_worker
+
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, stop.set)
+    await coordinator.start()
+    print(f"serving campaign on {coordinator.url} "
+          f"({len(coordinator.queue)} point(s), "
+          f"{coordinator.cache_hits} already cached)")
+    # Durable from the start, so a kill at any point is resumable.
+    coordinator.write_manifest()
+    workers = [spawn_worker(coordinator.url, f"local-{index}",
+                            coordinator.backend)
+               for index in range(local_workers)]
+    interrupted = False
+    try:
+        while True:
+            if stop.is_set():
+                interrupted = True
+                break
+            if await coordinator.wait_finished(timeout=0.2):
+                break
+            if workers and not coordinator.queue.finished and \
+                    all(w.poll() is not None for w in workers):
+                print("all local workers exited with work outstanding; "
+                      "waiting for external workers (Ctrl-C to stop)")
+                workers = []
+    finally:
+        await coordinator.stop()
+        for worker in workers:
+            if worker.poll() is None:
+                worker.terminate()
+        for worker in workers:
+            try:
+                worker.wait(timeout=5.0)
+            except Exception:
+                worker.kill()
+    return interrupted
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.serve.worker import worker_loop
+    return worker_loop(args.url, worker_id=args.id,
+                       backend=args.backend, max_jobs=args.max_jobs,
+                       progress=print if args.verbose else None)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -347,6 +526,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figure(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "lint":
         from repro.analysis.lint import main as lint_main
         forwarded: List[str] = list(args.paths)

@@ -31,8 +31,10 @@ import dataclasses
 import hashlib
 import json
 import os
+import tempfile
+import warnings
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
 from typing import (Callable, Dict, Iterable, Iterator, List, Mapping,
@@ -383,8 +385,12 @@ class ResultStore:
     One JSON file per point, named by :meth:`RunSpec.cache_key` and
     sharded by the key's first byte (``.repro-cache/ab/abcdef....json``).
     Each file records the schema version, the spec's human-readable
-    label, and the serialised result; writes go through a temp file +
-    rename so a crashed run never leaves a truncated entry behind.
+    label, and the serialised result; writes go through a *unique* temp
+    file + atomic rename, so a crashed run never leaves a truncated
+    entry behind and any number of concurrent writers (pool processes,
+    distributed-sweep workers landing the same key, threads sharing a
+    pid) may race on one shard without corrupting it -- last rename
+    wins, every intermediate state is a complete entry.
     """
 
     def __init__(self, root: Union[str, Path, None] = None) -> None:
@@ -423,9 +429,23 @@ class ResultStore:
             "backend": resolve_backend(backend or "event"),
             "result": result.to_dict(),
         }
-        tmp = path.with_suffix(f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
-        tmp.replace(path)
+        # A mkstemp-unique temp file per call: a pid-suffixed name is
+        # not enough once threads (or a coordinator and its workers)
+        # share a process -- two writers interleaving on one temp path
+        # used to land a truncated/corrupt shard.
+        handle, tmp = tempfile.mkstemp(dir=path.parent,
+                                       prefix=f".{key[:16]}.",
+                                       suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w") as stream:
+                stream.write(json.dumps(payload, sort_keys=True))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def __len__(self) -> int:
         if not self.root.is_dir():
@@ -452,6 +472,14 @@ def execute_spec(spec: RunSpec, backend: Optional[str] = None) -> Dict:
     return result.to_dict()
 
 
+#: Producer label (``SweepOutcome.provenance``) for disk-cache hits.
+CACHE_PRODUCER = "cache"
+#: Producer label for points simulated in this process / its pool.
+LOCAL_PRODUCER = "local"
+
+EXECUTORS = ("local", "distributed")
+
+
 @dataclass
 class SweepOutcome:
     """What :func:`run_sweep` did: the results plus cache accounting."""
@@ -461,6 +489,9 @@ class SweepOutcome:
     simulated: int = 0
     #: Points served from the disk store.
     cache_hits: int = 0
+    #: Who produced each point: ``"cache"``, ``"local"``, or the id of
+    #: the distributed worker that simulated it.
+    provenance: Dict[RunSpec, str] = field(default_factory=dict)
 
     def __getitem__(self, spec: RunSpec) -> SimulationResult:
         return self.results[spec]
@@ -471,7 +502,8 @@ def run_sweep(sweep: Iterable[RunSpec], *, jobs: int = 1,
               known: Optional[Mapping[RunSpec, SimulationResult]] = None,
               on_result: Optional[Callable[[RunSpec, SimulationResult],
                                            None]] = None,
-              backend: Optional[str] = None) -> SweepOutcome:
+              backend: Optional[str] = None,
+              executor: str = "local") -> SweepOutcome:
     """Execute every point of ``sweep``, in parallel when ``jobs > 1``.
 
     ``known`` points (e.g. an in-process memo) are returned as-is; the
@@ -483,7 +515,20 @@ def run_sweep(sweep: Iterable[RunSpec], *, jobs: int = 1,
     to ``store`` and reported through ``on_result`` as they arrive.
     ``backend`` picks the simulation engine ("event"/"batch"); cached
     points are shared across backends because results are bit-identical.
+
+    ``executor="distributed"`` runs the misses through a localhost
+    coordinator + ``jobs`` worker subprocesses speaking the
+    :mod:`repro.serve` protocol instead of a process pool — same
+    ``to_dict`` round trip, so still bit-identical — and records which
+    worker produced each point in :attr:`SweepOutcome.provenance`.
+    When the distributed service cannot start (or loses every worker
+    mid-campaign), execution falls back transparently to the local
+    path; points whose jobs were quarantined (failed repeatedly on
+    real workers) raise :class:`repro.serve.QuarantinedError`.
     """
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}: expected one "
+                         f"of {', '.join(EXECUTORS)}")
     specs = list(Sweep(sweep))
     outcome = SweepOutcome(results={})
     pending: List[RunSpec] = []
@@ -496,14 +541,21 @@ def run_sweep(sweep: Iterable[RunSpec], *, jobs: int = 1,
             if cached is not None:
                 outcome.results[spec] = cached
                 outcome.cache_hits += 1
+                outcome.provenance[spec] = CACHE_PRODUCER
                 if on_result is not None:
                     on_result(spec, cached)
                 continue
         pending.append(spec)
 
+    if executor == "distributed" and pending:
+        pending = _run_distributed_pending(pending, outcome, jobs=jobs,
+                                           store=store, backend=backend,
+                                           on_result=on_result)
+
     def record(spec: RunSpec, result: SimulationResult) -> None:
         outcome.results[spec] = result
         outcome.simulated += 1
+        outcome.provenance[spec] = LOCAL_PRODUCER
         if store is not None:
             store.save(spec.cache_key(), spec, result, backend=backend)
         if on_result is not None:
@@ -520,3 +572,41 @@ def run_sweep(sweep: Iterable[RunSpec], *, jobs: int = 1,
             for spec, data in zip(pending, pool.map(execute, pending)):
                 record(spec, SimulationResult.from_dict(data))
     return outcome
+
+
+def _run_distributed_pending(pending: List[RunSpec],
+                             outcome: SweepOutcome, *, jobs: int,
+                             store: Optional[ResultStore],
+                             backend: Optional[str],
+                             on_result) -> List[RunSpec]:
+    """Run the cache misses through :func:`repro.serve.run_distributed`.
+
+    Folds whatever the campaign finished into ``outcome`` and returns
+    the points still pending (normally none; the fallback remainder
+    when the service degraded), which the caller executes locally.
+    """
+    from repro.serve.executor import (DistributedUnavailable,
+                                      run_distributed)
+    try:
+        dist = run_distributed(pending, jobs=jobs, store=store,
+                               backend=backend)
+    except DistributedUnavailable as exc:
+        warnings.warn(
+            f"distributed sweep executor unavailable ({exc}); falling "
+            f"back to local execution", RuntimeWarning, stacklevel=3)
+        return pending
+    for spec in pending:
+        if spec not in dist.results:
+            continue
+        outcome.results[spec] = dist.results[spec]
+        outcome.provenance[spec] = dist.provenance[spec]
+        if on_result is not None:
+            on_result(spec, dist.results[spec])
+    outcome.simulated += dist.simulated
+    outcome.cache_hits += dist.cache_hits
+    if dist.remaining:
+        warnings.warn(
+            f"distributed sweep lost its workers with "
+            f"{len(dist.remaining)} point(s) outstanding; finishing "
+            f"them locally", RuntimeWarning, stacklevel=3)
+    return dist.remaining

@@ -1,0 +1,44 @@
+"""Distributed sweep service: coordinator, workers, and campaigns.
+
+``repro.serve`` promotes the single-host :func:`repro.experiments.sweep.
+run_sweep` into a serving system (see ``docs/serving.md``):
+
+* :mod:`repro.serve.queue`       -- the pure job-queue state machine
+  (lease timeouts, heartbeat renewal, exponential-backoff retries,
+  poison-job quarantine).  No clock, no I/O: every transition takes an
+  explicit ``now``, which is what makes the fuzz suite deterministic.
+* :mod:`repro.serve.wire`        -- JSON wire form of :class:`RunSpec`
+  so jobs cross the HTTP boundary without losing their cache key.
+* :mod:`repro.serve.manifest`    -- the resumable campaign manifest a
+  coordinator persists on shutdown.
+* :mod:`repro.serve.coordinator` -- the asyncio coordinator serving the
+  stdlib-only HTTP/JSON worker protocol (``/claim``, ``/complete``,
+  ``/fail``, ``/heartbeat``, ``/status``).
+* :mod:`repro.serve.worker`      -- the synchronous worker loop that
+  pulls jobs, renews its leases from a heartbeat thread, and posts
+  results (or failures) back.
+* :mod:`repro.serve.executor`    -- the in-process glue behind
+  ``run_sweep(executor="distributed")``: coordinator thread + N worker
+  subprocesses, with transparent fallback to local execution.
+
+Everything here is standard library only; simulation results cross the
+wire via the stable ``SimulationResult.to_dict``/``from_dict`` round
+trip, so a distributed point is bit-identical to a serial one.
+"""
+
+from repro.serve.coordinator import Coordinator, ServeSettings
+from repro.serve.executor import (DistributedUnavailable, QuarantinedError,
+                                  run_distributed)
+from repro.serve.manifest import load_manifest, write_manifest
+from repro.serve.queue import (DONE, LEASED, PENDING, QUARANTINED, Job,
+                               JobQueue, QueuePolicy)
+from repro.serve.wire import spec_from_dict, spec_to_dict
+from repro.serve.worker import worker_loop
+
+__all__ = [
+    "Coordinator", "ServeSettings", "DistributedUnavailable",
+    "QuarantinedError", "run_distributed", "load_manifest",
+    "write_manifest", "Job", "JobQueue", "QueuePolicy", "PENDING",
+    "LEASED", "DONE", "QUARANTINED", "spec_from_dict", "spec_to_dict",
+    "worker_loop",
+]

@@ -198,6 +198,51 @@ class TestExecutor:
         outcome = run_sweep([spec], store=store)
         assert outcome.simulated == 1
 
+    def test_concurrent_writers_never_corrupt_an_entry(self, tmp_path):
+        """Regression: ``save`` used to write through one fixed temp
+        path per key, so two concurrent writers (distributed-sweep
+        workers landing the same point, threads sharing a pid) could
+        interleave truncate/rename and leave a torn entry.  With
+        unique temp files + atomic rename, every read during the storm
+        sees a complete, loadable entry."""
+        import threading
+
+        store = ResultStore(tmp_path)
+        spec = self.SPECS[0]
+        key = spec.cache_key()
+        outcome = run_sweep([spec], store=store)
+        expected = outcome.results[spec].to_dict()
+        failures = []
+
+        def writer():
+            try:
+                for _ in range(40):
+                    store.save(key, spec, outcome.results[spec])
+            except BaseException as exc:
+                failures.append(exc)
+
+        def reader():
+            try:
+                for _ in range(200):
+                    loaded = store.load(key)
+                    assert loaded is not None, "torn cache entry"
+                    assert loaded.to_dict() == expected
+            except BaseException as exc:
+                failures.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(6)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not failures, failures
+        # The storm leaves exactly the entry, no stray temp files.
+        assert store.load(key).to_dict() == expected
+        leftovers = [p for p in store.path_for(key).parent.iterdir()
+                     if p.suffix != ".json"]
+        assert leftovers == []
+
 
 class TestRunnerIntegration:
     SCALE = BenchScale(num_cores=2, sim_instructions=1_000,
