@@ -41,6 +41,7 @@ FIGURES = {
     "fig21": experiments.figure21,
     "energy": experiments.energy_study,
     "power": experiments.power_budget_study,
+    "learned": experiments.learned_study,
     "llc": experiments.llc_sensitivity,
     "cores": experiments.core_count_sensitivity,
     "ablation": experiments.ablation_study,

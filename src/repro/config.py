@@ -308,6 +308,63 @@ class RelatedConfig:
     dspatch: bool = False
 
 
+#: Prefetchers the bandit selector may hold as arms ("none" plus the
+#: L1-training zoo).  Mirrors ``repro.prefetch.base.make_prefetcher``;
+#: kept literal here to avoid a config -> prefetch import cycle.
+LEARNED_ARM_CHOICES = ("none", "berti", "ipcp", "stride", "streamer")
+
+
+@dataclass
+class LearnedConfig:
+    """Online learned prefetch control (the ROADMAP scheme family).
+
+    ``policy`` picks the learner each core's prefetch filter chain
+    drives (see :mod:`repro.prefetch.learned`):
+
+    * ``"bandit"`` -- contextual-bandit *selection* of the L1
+      prefetcher from :attr:`arms`, re-decided every
+      :attr:`epoch_accesses` demand L1D accesses (arxiv 2307.08635
+      idiom).  Requires ``l1_prefetcher`` to be ``"none"``: the
+      selector owns that slot.
+    * ``"perceptron"`` -- hashed-perceptron prefetch *filtering* with
+      a bandwidth-adaptive admission threshold (arxiv 2403.15181 /
+      PPF idiom), a learned alternative to CLIP's utility CAM.
+
+    Learner state is explicit integers and the only randomness is the
+    per-core xorshift stream derived from :attr:`seed`, so seeded runs
+    are bit-identical across repeats, process pools, and backends.
+    """
+
+    #: One of "none", "bandit", "perceptron".
+    policy: str = "none"
+    #: Root of the per-core deterministic exploration streams.
+    seed: int = 0xC11F
+    #: Demand L1D accesses per policy epoch (observe cadence).
+    epoch_accesses: int = 128
+    #: Bandit arms (L1 prefetcher names; "none" keeps the no-prefetch
+    #: option competitive under bandwidth pressure).
+    arms: tuple[str, ...] = ("none", "berti", "stride", "streamer")
+    #: Epsilon-greedy exploration rate, in permille.
+    epsilon_permille: int = 125
+    #: Use the UCB rule instead of epsilon-greedy exploration.
+    ucb: bool = False
+    #: Perceptron geometry (branch.py-style lanes).
+    tables: int = 4
+    table_entries: int = 256
+    weight_bits: int = 6
+    #: Base admission threshold (idle bus).
+    threshold: int = 0
+    #: Raise the admission bar with DRAM bus pressure.
+    adaptive_threshold: bool = True
+    #: Admit every Nth below-threshold candidate as an exploration
+    #: probe, so the filter keeps a training signal even when the
+    #: adaptive bar exceeds the cold-start weights (CLIP's
+    #: exploration-window idea, counter-deterministic).
+    probe_interval: int = 8
+    #: Bound on in-flight admissions awaiting fate feedback.
+    pending_entries: int = 512
+
+
 @dataclass
 class SystemConfig:
     """Complete multi-core system configuration (Table 3 defaults)."""
@@ -333,6 +390,7 @@ class SystemConfig:
     criticality: CriticalityConfig = field(default_factory=CriticalityConfig)
     throttle: ThrottleConfig = field(default_factory=ThrottleConfig)
     related: RelatedConfig = field(default_factory=RelatedConfig)
+    learned: LearnedConfig = field(default_factory=LearnedConfig)
     #: Instructions simulated per core before statistics are collected.
     warmup_instructions: int = 0
     #: When > 0, record up to this many per-demand-load latency records
@@ -389,6 +447,35 @@ class SystemConfig:
             raise ValueError(
                 f"unknown simulation backend {self.backend!r}: expected "
                 f"one of {', '.join(BACKENDS)}")
+        learned = self.learned
+        if learned.policy not in ("none", "bandit", "perceptron"):
+            raise ValueError(
+                f"unknown learned policy {learned.policy!r}: expected "
+                f"'none', 'bandit' or 'perceptron'")
+        if learned.policy != "none" and learned.epoch_accesses < 1:
+            raise ValueError("learned.epoch_accesses must be positive")
+        if learned.policy == "bandit":
+            if self.l1_prefetcher.name != "none":
+                raise ValueError(
+                    "the bandit selector owns the L1 prefetcher slot: "
+                    "set l1_prefetcher to 'none' (the selector's arms "
+                    "name the candidate prefetchers)")
+            if not learned.arms:
+                raise ValueError("learned.arms must name at least one arm")
+            for arm in learned.arms:
+                if arm not in LEARNED_ARM_CHOICES:
+                    raise ValueError(
+                        f"unknown bandit arm {arm!r}: choose from "
+                        f"{LEARNED_ARM_CHOICES}")
+        if learned.policy == "perceptron":
+            if learned.tables < 1 or learned.table_entries < 1:
+                raise ValueError(
+                    "perceptron needs at least one table and entry")
+            if learned.weight_bits < 2:
+                raise ValueError("perceptron weights need >= 2 bits")
+            if learned.probe_interval < 1:
+                raise ValueError(
+                    "perceptron probe_interval must be positive")
 
     def replace(self, **changes: object) -> "SystemConfig":
         """Return a shallow-copied config with top-level fields replaced."""

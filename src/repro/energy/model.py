@@ -37,6 +37,9 @@ ENERGY_PJ = {
     "clip_filter": 0.6,
     "clip_predictor": 0.8,
     "clip_utility_cam": 1.5,
+    # Learned-policy tables (bandit Q entries / perceptron weight
+    # lanes; same few-hundred-byte class as the CLIP structures).
+    "policy_table": 0.9,
 }
 
 #: NoC hop estimate used only by the legacy (counter-less) fallback.
@@ -117,6 +120,10 @@ def _counter_picojoules(
                 * ENERGY_PJ["clip_utility_cam"])
             if clip_pj:
                 charge("CLIP", clip_pj)
+            policy_pj = (values.get("policy_table_accesses", 0)
+                         * ENERGY_PJ["policy_table"])
+            if policy_pj:
+                charge("Policy", policy_pj)
     return pj
 
 

@@ -17,6 +17,7 @@ from repro.experiments.figures import (figure1, figure2, figure3, figure4,
                                        energy_study, llc_sensitivity,
                                        core_count_sensitivity,
                                        ablation_study)
+from repro.experiments.learned import LEARNED_SCHEMES, learned_study
 from repro.experiments.power_budget import (frequency_adjusted_speedup,
                                             power_budget_study)
 from repro.experiments.runner import BenchScale, ExperimentRunner
@@ -29,6 +30,7 @@ __all__ = [
     "figure15", "figure16", "figure17", "figure18", "figure19", "figure20",
     "figure21", "table2", "table3", "energy_study", "llc_sensitivity",
     "ablation_study", "power_budget_study", "frequency_adjusted_speedup",
+    "learned_study", "LEARNED_SCHEMES",
     "core_count_sensitivity", "BenchScale", "ExperimentRunner",
     "Scheme", "RunSpec", "Sweep", "ResultStore", "run_sweep",
 ]

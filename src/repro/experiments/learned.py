@@ -1,0 +1,112 @@
+"""Head-to-head figure: CLIP vs learned selection vs learned filtering.
+
+The ROADMAP's learned-scheme-family question, answered at the paper's
+bandwidth-constrained operating point: does a contextual-bandit
+prefetcher *selector* (arxiv 2307.08635 idiom) or a hashed-perceptron
+prefetch *filter* (arxiv 2403.15181 / PPF idiom) recover the trade
+CLIP's hand-built criticality filter makes -- performance without
+spending saturated DRAM bandwidth?
+
+Every scheme is scored by weighted speedup against the shared
+no-prefetching baseline on each mix, at the scaled constrained channel
+count, so the comparison isolates the control policy: the bandit picks
+*which* prefetcher runs, the perceptron and CLIP pick *which
+candidates* an always-on Berti may issue.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.report import print_figure
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.statistics import geometric_mean
+from repro.experiments.sweep import RunSpec, Scheme
+from repro.sim.stats import weighted_speedup
+
+#: The head-to-head contenders: unfiltered Berti as the spend-everything
+#: reference, CLIP's hand-built filter, bandit-learned selection, and
+#: perceptron-learned filtering.
+LEARNED_SCHEMES = ("berti", "berti+clip", "bandit", "berti+perceptron")
+
+
+def learned_study(runner: Optional[ExperimentRunner] = None,
+                  schemes: Sequence[str] = LEARNED_SCHEMES,
+                  sample: int = 3,
+                  quiet: bool = False) -> Dict:
+    """Compare static and learned prefetch control under constrained
+    bandwidth across ``sample`` homogeneous workload mixes.
+
+    Returns per-scheme per-mix weighted speedups, geomeans, and
+    per-scheme prefetch traffic (mean issued / filter-dropped per core),
+    so the table shows not just who wins but how much bandwidth each
+    policy chose to spend.
+    """
+    runner = runner if runner is not None else ExperimentRunner()
+    workloads = runner.scale.sample_homogeneous()[:sample]
+    channels = runner.scale.constrained_channels
+    parsed = [Scheme.parse(name) for name in schemes]
+    baseline = Scheme()
+
+    # One batched sweep over every (scheme x mix) plus the shared
+    # baselines: jobs>1 fans out, warm reruns are pure cache hits.
+    specs: List[RunSpec] = []
+    for workload in workloads:
+        specs.append(runner.spec_homogeneous(baseline, workload, channels))
+        for scheme in parsed:
+            specs.append(runner.spec_homogeneous(scheme, workload,
+                                                 channels))
+    runner.run_sweep(specs)
+
+    speedups: Dict[str, Dict[str, float]] = {}
+    traffic: Dict[str, Dict[str, float]] = {}
+    for name, scheme in zip(schemes, parsed):
+        per_mix: Dict[str, float] = {}
+        issued = dropped = cores = 0
+        for workload in workloads:
+            result = runner.run(
+                runner.spec_homogeneous(scheme, workload, channels))
+            ref = runner.run(
+                runner.spec_homogeneous(baseline, workload, channels))
+            per_mix[workload] = weighted_speedup(result, ref)
+            for group, values in result.counters.items():
+                if group.endswith(".chain"):
+                    issued += values["pf_issued"]
+                    dropped += values["pf_dropped_filter"]
+                    cores += 1
+        per_mix["geomean"] = geometric_mean(
+            [per_mix[workload] for workload in workloads])
+        speedups[name] = per_mix
+        traffic[name] = {
+            "issued_per_core": issued / max(1, cores),
+            "dropped_per_core": dropped / max(1, cores),
+        }
+
+    if not quiet:
+        rows = []
+        for name in schemes:
+            rows.append([name]
+                        + [speedups[name][workload]
+                           for workload in workloads]
+                        + [speedups[name]["geomean"],
+                           traffic[name]["issued_per_core"],
+                           traffic[name]["dropped_per_core"]])
+        print_figure(
+            f"Learned prefetch control vs CLIP "
+            f"({channels} channel(s), weighted speedup vs none)",
+            ["scheme"] + list(workloads)
+            + ["geomean", "pf/core", "dropped/core"],
+            rows)
+        best = max(schemes, key=lambda name: speedups[name]["geomean"])
+        print(f"best geomean: {best} "
+              f"({speedups[best]['geomean']:.3f})")
+
+    return {
+        "channels": channels,
+        "workloads": list(workloads),
+        "speedups": speedups,
+        "traffic": traffic,
+    }
+
+
+__all__ = ["LEARNED_SCHEMES", "learned_study"]

@@ -49,7 +49,7 @@ from repro.sim.system import run_system
 #: any change that alters simulation outcomes or the ``to_dict`` layout;
 #: every existing cache entry becomes unreachable (keys embed the version)
 #: and is re-simulated on demand.
-CACHE_SCHEMA_VERSION = 2
+CACHE_SCHEMA_VERSION = 3
 
 #: Default location of the persistent result store, relative to the
 #: working directory; override with the ``REPRO_CACHE_DIR`` environment
@@ -94,6 +94,9 @@ class Scheme:
     crit_gate: bool = True
     #: Prefetch throttler ("fdp", "hpac", "spac", "nst" or None).
     throttle: Optional[str] = None
+    #: Learned online policy ("bandit" selector, "perceptron" filter,
+    #: or None for the static chain).
+    learned: Optional[str] = None
     #: Scale CLIP's criticality-filter sets (Fig. 18); implies CLIP on.
     clip_filter_scale: Optional[float] = None
     #: Scale CLIP's predictor sets (Fig. 18); implies CLIP on.
@@ -129,10 +132,12 @@ class Scheme:
     def parse(cls, name: str, **fields) -> "Scheme":
         """Build a scheme from a legacy ``"berti+clip"``-style name.
 
-        The first ``+``-separated token names a prefetcher (or "none");
-        later tokens toggle "clip", "hermes", "dspatch", a criticality
-        predictor, or a throttler.  Extra ``fields`` override the parsed
-        values, e.g. ``Scheme.parse("berti", criticality="fvp")``.
+        The first ``+``-separated token names a prefetcher, "none", or
+        "bandit" (the learned selector owns the L1 slot); later tokens
+        toggle "clip", "hermes", "dspatch", "perceptron" (the learned
+        filter), a criticality predictor, or a throttler.  Extra
+        ``fields`` override the parsed values, e.g.
+        ``Scheme.parse("berti", criticality="fvp")``.
         """
         from repro.criticality import predictor_names
         from repro.throttle import throttler_names
@@ -143,14 +148,21 @@ class Scheme:
             parsed["l1"] = head
         elif head in L2_PREFETCHERS:
             parsed["l2"] = head
+        elif head == "bandit":
+            # The bandit selector heads a scheme on its own: it owns
+            # the L1 slot and picks among its configured arms at run
+            # time ("bandit" is a complete scheme name).
+            parsed["learned"] = head
         elif head != "none":
             raise ValueError(
                 f"unknown scheme {name!r}; the leading token must be a "
-                f"prefetcher from {L1_PREFETCHERS + L2_PREFETCHERS} or "
-                f"'none'")
+                f"prefetcher from {L1_PREFETCHERS + L2_PREFETCHERS}, "
+                f"'bandit', or 'none'")
         for token in tokens[1:]:
             if token in ("clip", "hermes", "dspatch"):
                 parsed[token] = True
+            elif token in ("bandit", "perceptron"):
+                parsed["learned"] = token
             elif token in predictor_names():
                 parsed["criticality"] = token
             elif token in throttler_names():
@@ -194,6 +206,14 @@ class Scheme:
             parts.append(self.criticality)
         if self.throttle:
             parts.append(self.throttle)
+        if self.learned:
+            # A learned policy with no static prefetcher heads the
+            # label ("bandit", "bandit+fdp"); otherwise it rides along
+            # ("berti+perceptron").
+            if parts[0] == "none":
+                parts[0] = self.learned
+            else:
+                parts.append(self.learned)
         return "+".join(parts)
 
     def baseline(self) -> "Scheme":
@@ -230,6 +250,9 @@ class Scheme:
         config.criticality.gate = self.crit_gate
         if self.throttle:
             config.throttle.name = self.throttle
+        if self.learned:
+            config.learned = dataclasses.replace(config.learned,
+                                                 policy=self.learned)
         if self.hermes or self.dspatch:
             config.related = dataclasses.replace(
                 config.related, hermes=self.hermes, dspatch=self.dspatch)

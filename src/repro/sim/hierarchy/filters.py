@@ -16,7 +16,13 @@ Every prefetch candidate a core's prefetchers produce passes through one
 
 The chain also owns the **throttling epoch** (FDP/HPAC/SPAC/NST): every
 ``_THROTTLE_EPOCH`` demand L1D accesses it snapshots accuracy/lateness/
-pollution/occupancy and rescales the prefetchers' degree.
+pollution/occupancy and rescales the prefetchers' degree.  When a
+learned :class:`~repro.prefetch.learned.policy.OnlinePolicy` is
+attached, the chain additionally drives the **policy epoch**
+(``observe`` with a :class:`~repro.prefetch.learned.policy.
+PolicyFeatures` snapshot, applied to the ``policy_target`` arm
+multiplexer) and consults ``policy.decide`` on every candidate that
+survived the static filters.
 """
 
 from __future__ import annotations
@@ -24,10 +30,14 @@ from __future__ import annotations
 from typing import Callable, Dict, List, TYPE_CHECKING
 
 from repro.prefetch.base import PrefetchRequest
+from repro.prefetch.learned.policy import PolicyFeatures
+from repro.sim.hierarchy.messages import privatize
 from repro.sim.stats import PrefetchStats
 from repro.throttle.base import ThrottleSnapshot
 
 if TYPE_CHECKING:
+    from repro.prefetch.learned.bandit import SelectedPrefetcher
+    from repro.prefetch.learned.policy import OnlinePolicy
     from repro.sim.hierarchy.dram_port import DramPort
     from repro.sim.hierarchy.node import CoreNode
 
@@ -40,7 +50,8 @@ class PrefetchFilterChain:
 
     __slots__ = ("node", "clip", "crit_gate", "gate_enabled", "dspatch",
                  "throttler", "stats", "dram", "channel_utilization",
-                 "issue")
+                 "issue", "policy", "policy_target", "policy_epoch",
+                 "noc_flits")
 
     def __init__(self, node: "CoreNode", stats: PrefetchStats,
                  dram: "DramPort",
@@ -60,6 +71,14 @@ class PrefetchFilterChain:
         #: Issuing-layer hook, wired to ``L1Node.issue_prefetch``.
         self.issue: Callable[[PrefetchRequest, int, bool], None] = (
             lambda request, cycle, crit: None)
+        #: Learned online policy (None for every static scheme).
+        self.policy: "OnlinePolicy | None" = None
+        #: The arm multiplexer ``observe`` actions re-target (bandit).
+        self.policy_target: "SelectedPrefetcher | None" = None
+        #: Demand L1D accesses per policy epoch.
+        self.policy_epoch = 0
+        #: NoC flit-hop probe (wired by the hierarchy builder).
+        self.noc_flits: Callable[[], int] = lambda: 0
 
     def counters(self) -> Dict[str, int]:
         """This chain's counter group (``core{N}.chain``).
@@ -83,6 +102,8 @@ class PrefetchFilterChain:
             values["clip_predictor_accesses"] = stats.predictor_accesses
             values["clip_utility_cam_accesses"] = \
                 stats.utility_cam_accesses
+        if self.policy is not None:
+            values.update(self.policy.counters())
         return values
 
     # ------------------------------------------------------------------
@@ -113,6 +134,16 @@ class PrefetchFilterChain:
                     node.pf_dropped_filter += 1
                     stats.dropped_filter += 1
                     continue
+            if self.policy is not None:
+                # Documented ``decide`` point: once per candidate that
+                # survived the static filters, keyed by the privatised
+                # line so fate feedback finds the same record.
+                if not self.policy.decide(
+                        request.trigger_ip,
+                        privatize(node.core_id, request.address), cycle):
+                    node.pf_dropped_filter += 1
+                    stats.dropped_filter += 1
+                    continue
             self.issue(request, cycle, crit)
 
     # ------------------------------------------------------------------
@@ -120,10 +151,20 @@ class PrefetchFilterChain:
     # ------------------------------------------------------------------
 
     def note_demand_access(self, cycle: int) -> None:
-        """Count one demand L1D access; close the epoch when it fills."""
+        """Count one demand L1D access; close epochs when they fill.
+
+        The policy epoch (when a policy is attached) closes before the
+        throttling epoch, so an arm switch lands under the degree scale
+        the throttler chose for the regime being measured.
+        """
+        node = self.node
+        if self.policy is not None:
+            node.policy_accesses += 1
+            if node.policy_accesses >= self.policy_epoch:
+                node.policy_accesses = 0
+                self._close_policy_epoch(cycle)
         if self.throttler is None:
             return
-        node = self.node
         node.epoch_accesses += 1
         if node.epoch_accesses < _THROTTLE_EPOCH:
             return
@@ -154,3 +195,30 @@ class PrefetchFilterChain:
             l1.prefetcher.set_degree_scale(scale)
         if l2.prefetcher is not None:
             l2.prefetcher.set_degree_scale(scale)
+
+    # ------------------------------------------------------------------
+    # Policy epochs
+    # ------------------------------------------------------------------
+
+    def _close_policy_epoch(self, cycle: int) -> None:
+        """Documented ``observe`` point: snapshot integer features,
+        let the policy digest them, apply any arm-switch action."""
+        node = self.node
+        l1, l2 = node.l1, node.l2
+        occupancy = ((len(l1.port.mshr.entries)
+                      + len(l2.port.mshr.entries)) * 1000
+                     // (l1.port.mshr.capacity + l2.port.mshr.capacity))
+        features = PolicyFeatures(
+            cycle=cycle,
+            pf_issued=node.pf_issued,
+            pf_useful=node.pf_useful,
+            pf_dropped=node.pf_dropped_filter,
+            demand_misses=node.demand_l1_misses,
+            useless_evictions=(l1.cache.stats.useless_evictions
+                               + l2.cache.stats.useless_evictions),
+            dram_busy_permille=int(self.dram.utilization(cycle) * 1000),
+            noc_flit_hops=self.noc_flits(),
+            mshr_occupancy_permille=occupancy)
+        action = self.policy.observe(features)
+        if action >= 0 and self.policy_target is not None:
+            self.policy_target.activate(action)

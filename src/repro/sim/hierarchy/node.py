@@ -26,7 +26,8 @@ class CoreNode:
     __slots__ = ("core_id", "l1", "l2", "chain", "pf_issued",
                  "pf_dropped_filter", "pf_dropped_duplicate",
                  "pf_dropped_mshr", "pf_useful", "lat_sum", "lat_count",
-                 "epoch_accesses", "epoch_base", "demand_l1_misses")
+                 "epoch_accesses", "epoch_base", "demand_l1_misses",
+                 "policy_accesses")
 
     def __init__(self, core_id: int) -> None:
         self.core_id = core_id
@@ -48,6 +49,8 @@ class CoreNode:
         #: Snapshot of (issued, useful, late, pollution) at last epoch end.
         self.epoch_base = (0, 0, 0, 0)
         self.demand_l1_misses = 0
+        #: Demand accesses into the current learned-policy epoch.
+        self.policy_accesses = 0
 
     # -- flat views over the layer components --------------------------
 
@@ -102,3 +105,7 @@ class CoreNode:
     @property
     def throttler(self):
         return self.chain.throttler
+
+    @property
+    def policy(self):
+        return self.chain.policy

@@ -23,6 +23,7 @@ from repro.dram.controller import DramSystem
 from repro.mmu.tlb import Mmu
 from repro.noc.mesh import MeshNoc
 from repro.prefetch.base import make_prefetcher
+from repro.prefetch.learned import SelectedPrefetcher, make_policy
 from repro.related.dspatch import DspatchModulator
 from repro.sim.counters import CounterRegistry
 from repro.related.hermes import HermesPredictor
@@ -113,7 +114,15 @@ class Hierarchy:
         config = self.config
         node = CoreNode(core_id)
         l1_pf = l2_pf = None
-        if config.l1_prefetcher.name != "none":
+        policy = None
+        if config.learned.policy != "none":
+            policy = make_policy(config.learned, core_id)
+        if config.learned.policy == "bandit":
+            # The selector owns the L1 slot (validate() guarantees the
+            # static l1 prefetcher is "none" here).
+            l1_pf = SelectedPrefetcher(config.learned.arms,
+                                       config.l1_prefetcher.degree)
+        elif config.l1_prefetcher.name != "none":
             l1_pf = make_prefetcher(config.l1_prefetcher.name,
                                     config.l1_prefetcher.degree)
         if config.l2_prefetcher.name != "none":
@@ -147,6 +156,12 @@ class Hierarchy:
         if config.related.dspatch:
             chain.dspatch = DspatchModulator()
         chain.clip = clip
+        if policy is not None:
+            chain.policy = policy
+            chain.policy_epoch = config.learned.epoch_accesses
+            chain.noc_flits = self._noc_flit_hops
+            if config.learned.policy == "bandit":
+                chain.policy_target = l1_pf
         node.chain = chain
         node.l1 = L1Node(node, Cache(config.l1d),
                          Port(self.engine, MshrFile(config.l1d.mshr_entries)),
@@ -166,8 +181,13 @@ class Hierarchy:
         self._wire_feedback(node)
         return node
 
+    def _noc_flit_hops(self) -> int:
+        """Policy-feature probe: exact mesh flit-hops so far."""
+        return self.link.noc.stats.flit_hops
+
     def _wire_feedback(self, node: CoreNode) -> None:
         stats = self.stats
+        policy = node.chain.policy
 
         def l1_use(line: int, trigger_ip: int) -> None:
             node.pf_useful += 1
@@ -184,6 +204,35 @@ class Hierarchy:
             if node.l2.prefetcher is not None:
                 node.l2.prefetcher.on_prefetch_feedback(
                     line << LINE_SHIFT, False)
+
+        if policy is not None:
+            # Documented ``update`` points: prefetch-use and
+            # useless-eviction fates, at both private levels.  The
+            # policy-aware closures exist only on learned runs, so
+            # static schemes keep their exact pre-policy listeners.
+            # They read ``node.chain.policy`` at call time -- that
+            # attribute is the one documented stubbing seam, so a test
+            # swapping it redirects *every* hook, not just decide().
+            base_l1_use, base_l2_use = l1_use, l2_use
+            base_l2_useless = l2_useless
+            chain = node.chain
+
+            def l1_use(line: int, trigger_ip: int) -> None:
+                base_l1_use(line, trigger_ip)
+                chain.policy.update(line, trigger_ip, True)
+
+            def l2_use(line: int, trigger_ip: int) -> None:
+                base_l2_use(line, trigger_ip)
+                chain.policy.update(line, trigger_ip, True)
+
+            def l2_useless(line: int) -> None:
+                base_l2_useless(line)
+                chain.policy.update(line, 0, False)
+
+            def l1_useless(line: int) -> None:
+                chain.policy.update(line, 0, False)
+
+            node.l1.cache.useless_eviction_listener = l1_useless
 
         node.l1.cache.prefetch_use_listener = l1_use
         node.l2.cache.prefetch_use_listener = l2_use

@@ -128,6 +128,11 @@ class MulticoreSystem:
             parts.append("hermes")
         if self.config.related.dspatch:
             parts.append("dspatch")
+        if self.config.learned.policy != "none":
+            if parts[0] == "none":
+                parts[0] = self.config.learned.policy
+            else:
+                parts.append(self.config.learned.policy)
         return "+".join(parts)
 
     def _build_cores(self) -> None:

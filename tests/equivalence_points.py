@@ -139,6 +139,39 @@ def _point_bingo_l2_crisp() -> Tuple[SystemConfig, List[str]]:
     return config, ["620.omnetpp_s-141B", "623.xalancbmk_s-165B"]
 
 
+def _point_bandit_selector() -> Tuple[SystemConfig, List[str]]:
+    """Contextual-bandit per-core prefetcher selection (learned family).
+
+    Pins the policy-epoch cadence, the deterministic arm warm-up and
+    the epsilon-greedy xorshift stream, and the SelectedPrefetcher arm
+    multiplexer under a bandwidth-hungry mix.  A short epoch makes
+    several selection decisions land inside the pinned window.
+    """
+    config = _base(instructions=4_000)
+    config.l1_prefetcher = dataclasses.replace(config.l1_prefetcher,
+                                               name="none")
+    config.learned = dataclasses.replace(config.learned, policy="bandit",
+                                         epoch_accesses=64)
+    return config, ["605.mcf_s-1536B", "619.lbm_s-2676B"]
+
+
+def _point_perceptron_filter() -> Tuple[SystemConfig, List[str]]:
+    """Hashed-perceptron prefetch filtering over Berti (learned family).
+
+    Pins the perceptron lane hashing, the bandwidth-adaptive admission
+    threshold, probe admissions, and delayed fate training -- the
+    learned competitor to the CLIP admission path pinned by
+    ``clip_berti_hetero``.
+    """
+    config = _base(instructions=4_000)
+    config.l1_prefetcher = dataclasses.replace(config.l1_prefetcher,
+                                               name="berti")
+    config.learned = dataclasses.replace(config.learned,
+                                         policy="perceptron",
+                                         epoch_accesses=64)
+    return config, ["605.mcf_s-1536B", "623.xalancbmk_s-10B"]
+
+
 #: name -> builder returning (config, workload mix).
 POINTS: Dict[str, Callable[[], Tuple[SystemConfig, List[str]]]] = {
     "none_mcf": _point_none_mcf,
@@ -149,4 +182,6 @@ POINTS: Dict[str, Callable[[], Tuple[SystemConfig, List[str]]]] = {
     "spp_ppf_l2": _point_spp_ppf_l2,
     "streamer_clip": _point_streamer_clip,
     "bingo_l2_crisp": _point_bingo_l2_crisp,
+    "bandit_selector": _point_bandit_selector,
+    "perceptron_filter": _point_perceptron_filter,
 }

@@ -10,9 +10,10 @@ across backends (``RunSpec.cache_key`` excludes the backend).
 
 Two layers of pinning:
 
-* every golden-matrix point from :mod:`equivalence_points` (the same
-  eight points that pin the hierarchy refactor) runs under both
-  backends and the full result dicts are compared leaf-by-leaf;
+* every golden-matrix point from :mod:`equivalence_points` (the eight
+  points that pin the hierarchy refactor plus the two learned-policy
+  points) runs under both backends and the full result dicts are
+  compared leaf-by-leaf;
 * a seeded random-config fuzz sweeps core counts, channel counts,
   schemes, and workload mixes the matrix does not cover.
 """
@@ -67,7 +68,7 @@ def _assert_backends_identical(build, label):
 
 
 # ---------------------------------------------------------------------------
-# Golden matrix: the eight hierarchy-equivalence points
+# Golden matrix: the hierarchy-equivalence + learned-policy points
 # ---------------------------------------------------------------------------
 
 @pytest.mark.parametrize("point", sorted(POINTS))
@@ -107,12 +108,19 @@ _FUZZ_SCHEMES = [
     "streamer+clip", "spp_ppf", "bingo", "berti+fvp", "berti+fdp",
 ]
 
+#: The learned schemes fuzz on their own seed range so adding them did
+#: not reshuffle the draws (and hence the coverage) of seeds 0..7.
+_LEARNED_FUZZ_SCHEMES = [
+    "bandit", "berti+perceptron", "bandit+fdp", "berti+perceptron+clip",
+    "streamer+perceptron",
+]
 
-def _fuzz_spec(seed):
+
+def _fuzz_spec(seed, schemes=None):
     rng = random.Random(seed)
     cores = rng.choice([1, 2, 4])
     return RunSpec(
-        scheme=Scheme.parse(rng.choice(_FUZZ_SCHEMES)),
+        scheme=Scheme.parse(rng.choice(schemes or _FUZZ_SCHEMES)),
         mix=tuple(rng.choice(_FUZZ_WORKLOADS) for _ in range(cores)),
         channels=rng.choice([1, 2]),
         num_cores=cores,
@@ -131,6 +139,26 @@ def test_batch_matches_event_on_fuzzed_config(seed):
                                       f"x{spec.cores} ch{spec.channels})")
 
 
+@pytest.mark.parametrize("seed", range(100, 106))
+def test_batch_matches_event_on_fuzzed_learned_config(seed):
+    """Learned policies carry the most update-order-sensitive state in
+    the simulator (bandit Q tables, perceptron weights, xorshift
+    streams); fuzz them across both backends like any static scheme."""
+    spec = _fuzz_spec(seed, schemes=_LEARNED_FUZZ_SCHEMES)
+
+    def build():
+        return spec.config(), list(spec.mix)
+
+    result = _assert_backends_identical(
+        build, f"learned fuzz seed {seed} ({spec.scheme} "
+               f"x{spec.cores} ch{spec.channels})")
+    # The policy must actually have run: its counters join the chain
+    # group on every core.
+    for core_id in range(spec.cores):
+        chain = result["counters"][f"core{core_id}.chain"]
+        assert chain["policy_epochs"] >= 0  # key present on both paths
+
+
 def test_fuzz_specs_are_deterministic_and_diverse():
     """The fuzz points must stay stable run-to-run (same seeds -> same
     specs) and actually vary the knobs the golden matrix fixes."""
@@ -140,3 +168,9 @@ def test_fuzz_specs_are_deterministic_and_diverse():
     assert len({spec.cores for spec in a}) > 1
     assert len({spec.channels for spec in a}) > 1
     assert len({spec.scheme for spec in a}) > 1
+    learned = [_fuzz_spec(seed, schemes=_LEARNED_FUZZ_SCHEMES)
+               for seed in range(100, 106)]
+    assert learned == [_fuzz_spec(seed, schemes=_LEARNED_FUZZ_SCHEMES)
+                       for seed in range(100, 106)]
+    assert {spec.scheme.learned for spec in learned} == \
+        {"bandit", "perceptron"}

@@ -237,3 +237,72 @@ class TestBingo:
             prefetcher.on_access(0x400, region << 11, False, region)
         requests = prefetcher.on_access(0x400, (900 << 11) + 64, False, 5000)
         assert requests == []
+
+
+class TestSelectedPrefetcher:
+    """The bandit's arm multiplexer standing in the L1 slot."""
+
+    def _selected(self):
+        from repro.prefetch.learned import SelectedPrefetcher
+        return SelectedPrefetcher(("none", "stride"), degree=2)
+
+    def test_activate_is_bounds_checked_and_counts_switches(self):
+        selected = self._selected()
+        with pytest.raises(ValueError, match="arm"):
+            selected.activate(2)
+        selected.activate(1)
+        selected.activate(1)  # re-activating the active arm is free
+        assert selected.active == 1
+        assert selected.switches == 1
+
+    def test_only_the_active_arm_sees_traffic(self):
+        selected = self._selected()
+        selected.activate(1)
+        # Train the stride arm through the multiplexer...
+        for i in range(4):
+            selected.on_access(0x400, 0x1000 + i * 256, False, i)
+        assert selected.on_access(0x400, 0x1000 + 4 * 256, False, 4)
+        # ...then point back at "none": candidates stop immediately.
+        selected.activate(0)
+        assert selected.on_access(0x400, 0x1000 + 5 * 256, False, 5) == []
+
+
+class TestFilteredSchemeCounters:
+    """Filtered schemes must expose their structure-activity counters.
+
+    The energy layer prices ``core{N}.chain`` structure accesses
+    (CLIP's CAM lanes, the policy tables), so a filtered run whose
+    counters stay absent or zero would silently read as free."""
+
+    def _chain_counters(self, scheme: str):
+        from repro.experiments.sweep import RunSpec, Scheme
+        from repro.sim.system import run_system
+        spec = RunSpec(scheme=Scheme.parse(scheme),
+                       mix=("605.mcf_s-1536B",), channels=1, num_cores=1,
+                       sim_instructions=2_500)
+        result = run_system(spec.config(), list(spec.mix))
+        return result.counters["core0.chain"]
+
+    def test_clip_counters_present_and_active(self):
+        chain = self._chain_counters("berti+clip")
+        for counter in ("clip_filter_accesses", "clip_predictor_accesses",
+                        "clip_utility_cam_accesses"):
+            assert chain[counter] > 0, counter
+        # Candidates flowed through the chain (CLIP may drop them all
+        # on a short bandwidth-starved run; the structures still paid).
+        assert chain["pf_issued"] + chain["pf_dropped_filter"] > 0
+
+    def test_bandit_counters_present_and_active(self):
+        chain = self._chain_counters("bandit")
+        assert chain["policy_epochs"] > 0
+        assert chain["policy_updates"] > 0
+        assert chain["policy_table_accesses"] > 0
+        assert chain["policy_switches"] >= 0  # key must exist either way
+
+    def test_perceptron_counters_present_and_active(self):
+        chain = self._chain_counters("berti+perceptron")
+        assert chain["policy_decisions"] > 0
+        assert chain["policy_table_accesses"] > 0
+        assert chain["policy_admits"] + chain["policy_drops"] \
+            == chain["policy_decisions"]
+        assert chain["pf_dropped_filter"] >= chain["policy_drops"]

@@ -35,31 +35,38 @@ def test_result_dict_roundtrip_is_lossless(point):
     assert SimulationResult.from_dict(rebuilt.to_dict()).to_dict() == tree
 
 
-#: (RunSpec factory kwargs, sha256 hex) captured at schema version 2
-#: (the counter-layer release: ``SystemConfig.core_overrides`` joined
-#: the hashed config and the schema was bumped deliberately); see the
+#: (RunSpec factory kwargs, sha256 hex) captured at schema version 3
+#: (the learned-policy release: ``SystemConfig.learned`` joined the
+#: hashed config and the schema was bumped deliberately); see the
 #: module docstring before editing.
 _PINNED_KEYS = [
     (dict(scheme="berti+clip", mix=("605.mcf_s-1536B",) * 4,
           channels=1, num_cores=4, sim_instructions=8000),
-     "40675f694746730dadb441c0b2818a2615aa2813bff8a4b3a222b2dc2fa4e993"),
+     "da0c152bff53a73a6847339a93ee7cbf1699121f964ae2814f5296b8cc70fc97"),
     (dict(scheme="none", mix=("623.xalancbmk_s-10B", "tc-14"),
           channels=1, num_cores=2, sim_instructions=2500),
-     "46ff084f6ec948a75993eb259e52a355bf2f932f8e7d5066040956ad4d12d3af"),
+     "9590b714061c0782cf9815ef753f0ee2f4cc354a4b06f9eb7f30045dff8bea25"),
     (dict(scheme="spp_ppf+clip+fdp",
           mix=("619.lbm_s-2676B", "605.mcf_s-1536B"),
           channels=2, num_cores=2, sim_instructions=2500),
-     "9b6538a31fdcd4f31e31a23de029202793c4c176a75c3c9f69d83e7cb69bf49d"),
+     "4916a21504a1bbcf831a87f91a0bc0082261ac4c55708ea7ad5147ecb3adadcd"),
+    (dict(scheme="bandit", mix=("605.mcf_s-1536B", "619.lbm_s-2676B"),
+          channels=1, num_cores=2, sim_instructions=4000),
+     "70eeb42d5280f8976fe1cb334e8175ad89405ea1a38a047dec263f8ce4415cf7"),
+    (dict(scheme="berti+perceptron",
+          mix=("605.mcf_s-1536B", "623.xalancbmk_s-10B"),
+          channels=1, num_cores=2, sim_instructions=4000),
+     "54345243856a0742bcdfe9971dda72584c3e8cec75f796d41c30ae2157ea47c1"),
 ]
 
 
-def test_cache_schema_version_matches_counter_release():
-    """Version 2 is the counter-layer release: results gained the
-    per-component ``counters`` snapshot and energy/EDP columns, so every
-    version-1 cache entry must be re-simulated (stale entries read as
-    misses, never as load errors).  Bump this pin only together with a
-    deliberate schema change."""
-    assert CACHE_SCHEMA_VERSION == 2
+def test_cache_schema_version_matches_learned_release():
+    """Version 3 is the learned-policy release: ``SystemConfig.learned``
+    joined the materialised config (so learned and static runs can never
+    share a cache entry), and every version-2 entry must be re-simulated
+    (stale entries read as misses, never as load errors).  Bump this pin
+    only together with a deliberate schema change."""
+    assert CACHE_SCHEMA_VERSION == 3
 
 
 @pytest.mark.parametrize("kwargs,expected",

@@ -46,8 +46,32 @@ class TestScheme:
 
     def test_label_round_trips(self):
         for name in ("none", "berti", "bingo", "berti+clip",
-                     "spp_ppf+clip", "berti+hermes", "berti+dspatch"):
+                     "spp_ppf+clip", "berti+hermes", "berti+dspatch",
+                     "bandit", "berti+perceptron", "bandit+fdp"):
             assert Scheme.parse(name).label == name
+
+    def test_parse_learned_tokens(self):
+        assert Scheme.parse("bandit").learned == "bandit"
+        assert Scheme.parse("bandit").l1 == "none"
+        perceptron = Scheme.parse("berti+perceptron")
+        assert perceptron.l1 == "berti"
+        assert perceptron.learned == "perceptron"
+        # The learned token canonicalises after clip in the label.
+        assert Scheme.parse("berti+perceptron+clip").label \
+            == "berti+clip+perceptron"
+
+    def test_learned_config_materialises_and_validates(self):
+        config = Scheme.parse("bandit").build_config(
+            channels=1, num_cores=1, sim_instructions=500)
+        assert config.learned.policy == "bandit"
+        config.validate()
+        # A bandit scheme owns the L1 slot: a static L1 prefetcher
+        # alongside it must be rejected.
+        import dataclasses
+        config.l1_prefetcher = dataclasses.replace(config.l1_prefetcher,
+                                                   name="berti")
+        with pytest.raises(ValueError, match="bandit"):
+            config.validate()
 
     def test_clip_overrides_canonical_order(self):
         a = Scheme(l1="berti", clip_overrides={"b": 1, "a": 2})
